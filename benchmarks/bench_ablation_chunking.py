@@ -1,0 +1,35 @@
+"""Ablation: the kernel's permutation batch size.
+
+DESIGN.md calls batched GEMM evaluation the main optimisation this port
+adds over the paper's one-permutation-at-a-time C loop.  This ablation
+times the same workload at batch sizes 1 (the paper's structure), 16, 64
+(default) and 256, and asserts the counts are invariant — the batching is
+purely a performance knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mt_maxT
+from repro.data import synthetic_expression, two_class_labels
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    X, _ = synthetic_expression(500, 24, n_class1=12, seed=8)
+    return X, two_class_labels(12, 12)
+
+
+@pytest.fixture(scope="module")
+def reference(dataset):
+    X, labels = dataset
+    return mt_maxT(X, labels, B=400, seed=9, chunk_size=64)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 16, 64, 256])
+def test_chunk_size(benchmark, dataset, reference, chunk_size):
+    X, labels = dataset
+    result = benchmark(mt_maxT, X, labels, B=400, seed=9,
+                       chunk_size=chunk_size)
+    np.testing.assert_array_equal(result.rawp, reference.rawp)
+    np.testing.assert_array_equal(result.adjp, reference.adjp)

@@ -1,0 +1,56 @@
+"""Ablations: sampling/storage mode and checkpointing overhead.
+
+* fixed-seed on-the-fly vs sequential-stream + stored permutations —
+  the ``fixed.seed.sampling`` trade the paper inherits from multtest
+  (memory for regeneration time);
+* checkpointing on vs off — the cost of the fault-tolerance extension
+  (future-work item 1).
+"""
+
+import numpy as np
+import pytest
+
+from repro import mt_maxT, pmaxT
+from repro.data import synthetic_expression, two_class_labels
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    X, _ = synthetic_expression(400, 24, n_class1=12, seed=10)
+    return X, two_class_labels(12, 12)
+
+
+@pytest.mark.parametrize("fss", ["y", "n"])
+def test_sampling_mode(benchmark, dataset, fss):
+    X, labels = dataset
+    result = benchmark(mt_maxT, X, labels, B=500, seed=11,
+                       fixed_seed_sampling=fss)
+    assert result.nperm == 500
+
+
+def test_complete_enumeration(benchmark):
+    """Unranking-driven complete enumeration (C(12,6) = 924 permutations)."""
+    X, _ = synthetic_expression(200, 12, n_class1=6, seed=12)
+    labels = two_class_labels(6, 6)
+    result = benchmark(mt_maxT, X, labels, B=0)
+    assert result.complete and result.nperm == 924
+
+
+def test_checkpointing_off(benchmark, dataset):
+    X, labels = dataset
+    result = benchmark(pmaxT, X, labels, B=400, seed=13)
+    assert result.nperm == 400
+
+
+def test_checkpointing_on(benchmark, dataset, tmp_path_factory):
+    X, labels = dataset
+
+    def run():
+        ckpt = tmp_path_factory.mktemp("ckpt")
+        return pmaxT(X, labels, B=400, seed=13, checkpoint_dir=str(ckpt),
+                     checkpoint_interval=100)
+
+    result = benchmark(run)
+    # checkpointing must not change the answer
+    plain = pmaxT(X, labels, B=400, seed=13)
+    np.testing.assert_array_equal(result.rawp, plain.rawp)

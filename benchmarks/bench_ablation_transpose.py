@@ -1,0 +1,33 @@
+"""Ablation: in-place vs copying transposition (future-work item 2).
+
+The paper's Section 6 suggests replacing the allocate-and-copy transpose in
+the create-data step with an in-place algorithm.  This bench quantifies the
+trade on the paper-shaped matrix: the cycle-following in-place transpose
+saves the second buffer but pays Python-loop time, while NumPy's copying
+transpose is fast but momentarily doubles the data footprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.transpose import transpose_copy, transpose_inplace
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(14)
+    # paper aspect ratio, scaled to keep the pure-Python path in budget
+    return rng.normal(size=(1_526, 19))
+
+
+def test_transpose_copy(benchmark, matrix):
+    out = benchmark(transpose_copy, matrix)
+    assert out.shape == (19, 1_526)
+
+
+def test_transpose_inplace(benchmark, matrix):
+    def run():
+        return transpose_inplace(matrix.copy())
+
+    out = benchmark(run)
+    np.testing.assert_array_equal(out, matrix.T)

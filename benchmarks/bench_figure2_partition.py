@@ -1,0 +1,32 @@
+"""Regenerate paper Figure 2 — the permutation distribution scheme.
+
+Renders the rank → permutation map with the paper's own illustration
+numbers (23 permutations, 3 processes) and checks the drawn invariants:
+the master owns the observed permutation, every other rank skips it, and
+the chunks tile the serial sequence.  Also sweeps realistic (B, P) pairs
+to time the partition arithmetic itself.
+"""
+
+from repro.bench.figures import render_figure2
+from repro.core.partition import partition_permutations
+
+
+def test_figure2_rendering(benchmark):
+    text = benchmark(render_figure2)
+    assert "rank 0: 1 2 3 4 5 6 7 8" in text
+    assert text.count("1(skip)") == 2
+    assert "sum of counts = 23" in text
+
+
+def test_figure2_partition_arithmetic(benchmark):
+    def sweep():
+        plans = []
+        for procs in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512):
+            plans.append(partition_permutations(150_000, procs))
+        return plans
+
+    plans = benchmark(sweep)
+    for plan in plans:
+        assert sum(c.count for c in plan.chunks) == 150_000
+        assert plan.chunks[0].includes_observed
+        assert not any(c.includes_observed for c in plan.chunks[1:])

@@ -1,0 +1,44 @@
+"""Regenerate paper Figure 3 — speed-up curves on all five platforms.
+
+Computes the total-execution-time speed-up series for HECToR, ECDF, EC2,
+Ness and the quad-core desktop against the optimal line, and asserts the
+figure's visual story: HECToR hugs the optimal the longest, the platform
+ordering at shared process counts, and every curve's monotone growth.
+
+Print the figure with: ``python -m repro.bench.figures --figure 3``.
+"""
+
+from repro.bench.figures import render_figure3, speedup_series
+
+
+def test_figure3_series(benchmark):
+    series = benchmark(speedup_series, "total")
+
+    hector = dict(series["hector"])
+    ecdf = dict(series["ecdf"])
+    ec2 = dict(series["ec2"])
+    ness = dict(series["ness"])
+    quad = dict(series["quadcore"])
+
+    # HECToR closest to optimal at its top end (paper: 313 at 512).
+    assert hector[512] > 280
+    # ordering at the largest shared process count (32): HECToR > ECDF > EC2
+    assert hector[32] > ecdf[32] > ec2[32]
+    # Ness beats EC2 at 16 (shared memory vs virtual ethernet).
+    assert ness[16] < hector[16] and ness[16] > ec2[16] * 0.9
+    # every curve is monotone increasing in P
+    for name in ("hector", "ecdf", "ec2", "ness", "quadcore"):
+        values = [s for _, s in series[name]]
+        assert all(b > a for a, b in zip(values, values[1:])), name
+    # the optimal reference line is exactly y = x
+    assert all(s == p for p, s in series["optimal"])
+    # quad-core end point near the paper's 3.37
+    assert 3.0 < quad[4] < 3.7
+
+
+def test_figure3_ascii_rendering(benchmark):
+    text = benchmark(render_figure3)
+    assert "Figure 3" in text and "legend" in text
+    # all five platforms plotted
+    for glyph in ("H", "E", "A", "N", "Q"):
+        assert glyph in text

@@ -1,0 +1,109 @@
+"""Measured benchmarks: individual pmaxT components.
+
+Times the pieces the five-section profile decomposes into: statistic batch
+evaluation (the kernel's inner loop), permutation generation (both
+generator families, both sampling modes), and the p-value assembly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adjust import pvalues_from_counts, significance_order
+from repro.data import synthetic_expression, two_class_labels
+from repro.permute import (
+    CompleteTwoSample,
+    RandomLabelShuffle,
+    StoredPermutations,
+)
+from repro.stats import make_statistic
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    X, _ = synthetic_expression(1_000, 40, n_class1=20, seed=5)
+    return X, two_class_labels(20, 20)
+
+
+@pytest.mark.parametrize("test", ["t", "t.equalvar", "wilcoxon", "f"])
+def test_statistic_batch_evaluation(benchmark, dataset, test):
+    """One 64-permutation batch over 1 000 genes (the kernel's unit)."""
+    X, labels = dataset
+    if test == "f":
+        labels = np.repeat(np.arange(4), 10)
+    stat = make_statistic(test, X, labels)
+    rng = np.random.default_rng(6)
+    encs = np.stack([rng.permutation(labels) for _ in range(64)])
+    out = benchmark(stat.batch, encs)
+    assert out.shape == (1_000, 64)
+
+
+def test_generator_fixed_seed(benchmark, dataset):
+    _, labels = dataset
+
+    def generate():
+        gen = RandomLabelShuffle(labels, 2_000, seed=1, fixed_seed=True)
+        total = 0
+        while gen.position < gen.nperm:
+            total += gen.take_batch(min(64, gen.nperm - gen.position)).shape[0]
+        return total
+
+    assert benchmark(generate) == 2_000
+
+
+def test_generator_stream(benchmark, dataset):
+    _, labels = dataset
+
+    def generate():
+        gen = RandomLabelShuffle(labels, 2_000, seed=1, fixed_seed=False)
+        total = 0
+        while gen.position < gen.nperm:
+            total += gen.take_batch(min(64, gen.nperm - gen.position)).shape[0]
+        return total
+
+    assert benchmark(generate) == 2_000
+
+
+def test_generator_complete_unranking(benchmark):
+    labels = two_class_labels(6, 6)  # C(12,6) = 924 arrangements
+
+    def generate():
+        gen = CompleteTwoSample(labels)
+        return gen.take_batch(gen.nperm).shape[0]
+
+    assert benchmark(generate) == 924
+
+
+def test_generator_skip_cost_fixed_seed(benchmark, dataset):
+    """O(1) forwarding: skipping 1.9M permutations must be instant."""
+    _, labels = dataset
+
+    def skip():
+        gen = RandomLabelShuffle(labels, 2_000_000, seed=1, fixed_seed=True)
+        gen.skip(1_900_000)
+        return gen.position
+
+    assert benchmark(skip) == 1_900_000
+
+
+def test_stored_permutation_materialisation(benchmark, dataset):
+    _, labels = dataset
+
+    def materialise():
+        source = RandomLabelShuffle(labels, 2_000, seed=2, fixed_seed=False)
+        return StoredPermutations(source).nbytes
+
+    assert benchmark(materialise) > 0
+
+
+def test_pvalue_assembly(benchmark):
+    """The compute-p-values section at the paper's 6 102-gene scale."""
+    m, B = 6_102, 150_000
+    rng = np.random.default_rng(7)
+    scores = rng.normal(size=m)
+    order = significance_order(scores)
+    raw = rng.integers(1, B, size=m)
+    adj = np.sort(rng.integers(1, B, size=m))
+
+    rawp, adjp = benchmark(pvalues_from_counts, raw, adj, order, B)
+    assert rawp.shape == (m,)
+    assert (np.diff(adjp[order]) >= 0).all()

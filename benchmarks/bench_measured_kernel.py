@@ -1,0 +1,47 @@
+"""Measured benchmarks: the real maxT kernel on this machine.
+
+These time the actual Python/NumPy implementation (not the platform
+simulator): end-to-end mt_maxT per statistic, and the kernel's permutation
+throughput, which is the quantity the paper's "Main kernel" column tracks.
+"""
+
+import pytest
+
+from repro.bench.runner import measured_workload, run_serial
+
+
+@pytest.mark.parametrize("test", ["t", "t.equalvar", "wilcoxon", "f",
+                                  "pairt", "blockf"])
+def test_maxt_end_to_end(benchmark, test):
+    work = measured_workload(test, n_genes=400, n_samples=24, B=300)
+    result = benchmark(run_serial, work)
+    assert result.nperm == 300
+    assert result.m == 400
+
+
+def test_maxt_paper_shape_scaled_down(benchmark):
+    """The paper's matrix aspect (genes >> samples), laptop-scale."""
+    work = measured_workload("t", n_genes=6102 // 4, n_samples=76, B=150)
+    result = benchmark(run_serial, work)
+    assert result.m == 1525
+
+
+def test_maxt_large_b(benchmark):
+    """Permutation-count dominated regime (the paper's bottleneck)."""
+    work = measured_workload("t", n_genes=100, n_samples=20, B=4_000)
+    result = benchmark(run_serial, work)
+    assert result.nperm == 4_000
+
+
+def test_maxt_with_missing_values(benchmark):
+    """The masked-GEMM path must not collapse under NAs."""
+    import numpy as np
+
+    from repro import mt_maxT
+    from repro.data import inject_missing, synthetic_expression, two_class_labels
+
+    X, _ = synthetic_expression(400, 24, n_class1=12, seed=3)
+    X = inject_missing(X, 0.05, seed=4)
+    labels = two_class_labels(12, 12)
+    result = benchmark(mt_maxT, X, labels, B=300)
+    assert np.isfinite(result.teststat).sum() > 350

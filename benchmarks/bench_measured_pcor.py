@@ -1,0 +1,39 @@
+"""Measured benchmarks: SPRINT's pcor (serial and data-divided parallel).
+
+The complement to the pmaxT benches: the correlation function divides the
+*data* rather than the permutation count, so its cost profile (one m x m
+GEMM-bound output) stresses the substrate differently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corr import cor, pcor
+from repro.data import inject_missing, synthetic_expression
+from repro.mpi import run_spmd
+
+
+@pytest.fixture(scope="module")
+def X():
+    data, _ = synthetic_expression(800, 60, n_class1=30, seed=15)
+    return data
+
+
+def test_cor_serial(benchmark, X):
+    R = benchmark(cor, X)
+    assert R.shape == (800, 800)
+
+
+def test_cor_pairwise_missing(benchmark, X):
+    Xm = inject_missing(X, 0.05, seed=16)
+    R = benchmark(cor, Xm, use="pairwise")
+    assert R.shape == (800, 800)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_pcor_parallel(benchmark, X, nprocs):
+    def run():
+        return run_spmd(lambda comm: pcor(X, comm=comm), nprocs)[0]
+
+    R = benchmark(run)
+    np.testing.assert_allclose(R, cor(X), rtol=1e-10, atol=1e-12)

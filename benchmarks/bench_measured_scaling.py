@@ -1,0 +1,44 @@
+"""Measured benchmarks: real SPMD scaling of pmaxT on this machine.
+
+Runs the actual ThreadComm world at P = 1, 2, 4.  NumPy's BLAS releases the
+GIL, so on a multicore host the kernel overlaps; on a single-core host
+(like the CI container) these measure the parallel machinery's overhead —
+either way the *result* must stay identical to the serial run, which each
+bench asserts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import measured_workload, run_parallel, run_serial
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return measured_workload("t", n_genes=300, n_samples=24, B=600)
+
+
+@pytest.fixture(scope="module")
+def serial_result(workload):
+    return run_serial(workload)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_pmaxt_threadcomm(benchmark, workload, serial_result, nprocs):
+    result = benchmark(run_parallel, workload, nprocs)
+    assert result.nranks == nprocs
+    np.testing.assert_array_equal(result.rawp, serial_result.rawp)
+    np.testing.assert_array_equal(result.adjp, serial_result.adjp)
+
+
+def test_sprint_session_overhead(benchmark, workload, serial_result):
+    """Full framework path: session + command broadcast + pmaxT."""
+    from repro.sprint import SprintSession
+
+    def run():
+        with SprintSession(nprocs=2) as sprint:
+            return sprint.pmaxT(workload.X, workload.classlabel,
+                                test=workload.test, B=workload.B)
+
+    result = benchmark(run)
+    np.testing.assert_array_equal(result.rawp, serial_result.rawp)

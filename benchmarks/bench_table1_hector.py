@@ -1,0 +1,16 @@
+"""Regenerate paper Table I — pmaxT profile on HECToR (Cray XT4), P = 1..512.
+
+Workload: B = 150 000 permutations on the 6 102 x 76 expression matrix.
+The calibrated hector platform model executes the real partition plan per
+process count and prices the five pmaxT sections; the shape assertions
+guard the regeneration, and pytest-benchmark times it.
+
+Print the table with: `python -m repro.bench.tables --table 1 --paper`.
+"""
+
+from bench_util import assert_profile_shape, regenerate_profile_table
+
+
+def test_table1_hector(benchmark):
+    runs = benchmark(regenerate_profile_table, "hector")
+    assert_profile_shape("hector", runs)

@@ -1,0 +1,16 @@
+"""Regenerate paper Table II — pmaxT profile on ECDF 'Eddie' cluster, P = 1..128.
+
+Workload: B = 150 000 permutations on the 6 102 x 76 expression matrix.
+The calibrated ecdf platform model executes the real partition plan per
+process count and prices the five pmaxT sections; the shape assertions
+guard the regeneration, and pytest-benchmark times it.
+
+Print the table with: `python -m repro.bench.tables --table 2 --paper`.
+"""
+
+from bench_util import assert_profile_shape, regenerate_profile_table
+
+
+def test_table2_ecdf(benchmark):
+    runs = benchmark(regenerate_profile_table, "ecdf")
+    assert_profile_shape("ecdf", runs)

@@ -1,0 +1,16 @@
+"""Regenerate paper Table III — pmaxT profile on Amazon EC2, P = 1..32.
+
+Workload: B = 150 000 permutations on the 6 102 x 76 expression matrix.
+The calibrated ec2 platform model executes the real partition plan per
+process count and prices the five pmaxT sections; the shape assertions
+guard the regeneration, and pytest-benchmark times it.
+
+Print the table with: `python -m repro.bench.tables --table 3 --paper`.
+"""
+
+from bench_util import assert_profile_shape, regenerate_profile_table
+
+
+def test_table3_ec2(benchmark):
+    runs = benchmark(regenerate_profile_table, "ec2")
+    assert_profile_shape("ec2", runs)

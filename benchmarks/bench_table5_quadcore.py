@@ -1,0 +1,16 @@
+"""Regenerate paper Table V — pmaxT profile on quad-core desktop, P = 1..4.
+
+Workload: B = 150 000 permutations on the 6 102 x 76 expression matrix.
+The calibrated quadcore platform model executes the real partition plan per
+process count and prices the five pmaxT sections; the shape assertions
+guard the regeneration, and pytest-benchmark times it.
+
+Print the table with: `python -m repro.bench.tables --table 5 --paper`.
+"""
+
+from bench_util import assert_profile_shape, regenerate_profile_table
+
+
+def test_table5_quadcore(benchmark):
+    runs = benchmark(regenerate_profile_table, "quadcore")
+    assert_profile_shape("quadcore", runs)

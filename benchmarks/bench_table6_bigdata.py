@@ -1,0 +1,36 @@
+"""Regenerate paper Table VI — large exon-array datasets on 256 HECToR cores.
+
+Two datasets (36 612 x 76 and 73 224 x 76) at 0.5M/1M/2M permutations,
+simulated on the calibrated HECToR model, against the serial-R estimate
+(itself the calibrated affine per-permutation model solved from the paper's
+own extrapolations).
+
+Print the table with: ``python -m repro.bench.tables --table 6 --paper``.
+"""
+
+from repro.bench.paper import TABLE6_BIGDATA, TABLE6_PROCS
+from repro.cluster import get_platform, serial_r_estimate, simulate_pmaxt
+
+
+def _regenerate():
+    platform = get_platform("hector")
+    rows = []
+    for ref in TABLE6_BIGDATA:
+        run = simulate_pmaxt(platform, TABLE6_PROCS, rows=ref.n_genes,
+                             permutations=ref.permutations)
+        rows.append((ref, run.total, serial_r_estimate(ref.permutations,
+                                                       ref.n_genes)))
+    return rows
+
+
+def test_table6_bigdata(benchmark):
+    rows = benchmark(_regenerate)
+    for ref, total, serial in rows:
+        # totals within 15% of the paper, serial estimates exact
+        assert abs(total - ref.total_seconds) / ref.total_seconds < 0.15
+        assert abs(serial - ref.serial_estimate_seconds) \
+            / ref.serial_estimate_seconds < 1e-6
+    # the paper's headline shapes
+    by_key = {(r.n_genes, r.permutations): t for r, t, _ in rows}
+    assert 1.8 < by_key[(73_224, 500_000)] / by_key[(36_612, 500_000)] < 2.2
+    assert 3.5 < by_key[(36_612, 2_000_000)] / by_key[(36_612, 500_000)] < 4.5

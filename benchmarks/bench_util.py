@@ -1,0 +1,34 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from repro.bench.paper import PROFILE_TABLES
+from repro.cluster import get_platform, simulate_scaling
+
+__all__ = ["regenerate_profile_table", "assert_profile_shape"]
+
+
+def regenerate_profile_table(platform_name: str):
+    """Simulate the full scaling sweep for one platform; returns runs."""
+    platform = get_platform(platform_name)
+    return simulate_scaling(platform)
+
+
+def assert_profile_shape(platform_name: str, runs, *, kernel_tol=0.15,
+                         speedup_tol=0.15):
+    """Assert the regenerated table matches the paper's shape.
+
+    Loose bounds — the tight per-point bounds live in the test suite; the
+    benches only guard against a silently broken regeneration.
+    """
+    table = PROFILE_TABLES[platform_name]
+    base = runs[0]
+    for run, row in zip(runs, table.rows):
+        assert run.nprocs == row.procs
+        kerr = abs(run.kernel - row.main_kernel) / row.main_kernel
+        assert kerr < kernel_tol, \
+            f"{platform_name} P={run.nprocs}: kernel off by {kerr:.1%}"
+        serr = abs(run.speedup_vs(base) - row.speedup_total) \
+            / row.speedup_total
+        assert serr < speedup_tol, \
+            f"{platform_name} P={run.nprocs}: speedup off by {serr:.1%}"

@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Two benchmark families live here:
+
+* ``bench_table*.py`` / ``bench_figure*.py`` — regenerate each table and
+  figure of the paper through the calibrated platform simulator and assert
+  its shape; ``pytest-benchmark`` times the regeneration itself (cheap) so
+  the whole paper reproduction is wired into ``pytest benchmarks/
+  --benchmark-only``.
+* ``bench_measured_*.py`` / ``bench_ablation_*.py`` — measure the *actual*
+  Python implementation on this machine: kernel throughput per statistic,
+  generator costs, ThreadComm scaling and the design-choice ablations
+  called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import bench_util` work regardless of pytest rootdir configuration.
+sys.path.insert(0, str(Path(__file__).parent))

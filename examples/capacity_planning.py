@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Capacity planning: which platform, how many processes?
+
+The paper's conclusion frames SPRINT as a ladder — "exercise and refine
+workflows on lower end, less expensive platforms before executing more
+ambitious and potentially costly runs on high-end facilities".  This
+example uses the calibrated platform models to make that advice concrete
+for two workloads:
+
+* a refinement run (500 genes, 5 000 permutations) and
+* the production run of the paper's Table VI (36 612 genes, 2 million
+  permutations),
+
+answering: what does each platform deliver, where does adding cores stop
+paying, and who can meet a deadline?
+
+Run: ``python examples/capacity_planning.py``
+"""
+
+from repro.cluster import (
+    compare_platforms,
+    get_platform,
+    recommend_procs,
+    required_procs,
+    serial_r_estimate,
+)
+
+
+def report(title, rows, permutations, deadline):
+    print(f"== {title}")
+    print(f"   workload: {rows:,} genes x {permutations:,} permutations, "
+          f"deadline {deadline:,.0f} s")
+    serial_r = serial_r_estimate(permutations, rows)
+    print(f"   serial R estimate: {serial_r:,.0f} s "
+          f"({serial_r / 3600:.1f} h)")
+    print(f"   {'platform':<10} {'best (s)':>10} {'@P':>5} "
+          f"{'efficient P':>12} {'meets deadline':>15}")
+    for advice in compare_platforms(rows=rows, permutations=permutations,
+                                    deadline_seconds=deadline):
+        deadline_str = (f"yes (P={advice.procs_for_deadline})"
+                        if advice.meets_deadline() else "no")
+        print(f"   {advice.platform:<10} {advice.best_seconds:>10.1f} "
+              f"{advice.best_run.nprocs:>5} "
+              f"{advice.recommended_run.nprocs:>12} {deadline_str:>15}")
+    print()
+
+
+def main() -> None:
+    report("refinement workload (desktop-sized)", 500, 5_000, 120)
+    report("paper benchmark workload (Tables I-V)", 6_102, 150_000, 60)
+    report("production workload (Table VI, largest row)", 73_224,
+           2_000_000, 900)
+
+    # drill into the production run on HECToR
+    platform = get_platform("hector")
+    rows, permutations = 73_224, 2_000_000
+    run = recommend_procs(platform, rows=rows, permutations=permutations,
+                          min_efficiency=0.5)
+    print(f"HECToR recommendation for the production run: "
+          f"P={run.nprocs} -> {run.total:,.1f} s "
+          f"(kernel {run.kernel:,.1f} s)")
+    for deadline in (3_600, 900, 300):
+        procs = required_procs(platform, rows=rows,
+                               permutations=permutations,
+                               deadline_seconds=deadline)
+        answer = f"P={procs}" if procs else "not achievable"
+        print(f"  to finish within {deadline:>5,} s: {answer}")
+
+
+if __name__ == "__main__":
+    main()

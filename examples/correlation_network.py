@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Gene co-expression network with SPRINT's ``pcor``.
+
+The SPRINT prototype's first function was a parallel correlation for
+exactly this workflow (Hill et al. 2008, reference [2] of the paper):
+correlate every gene against every other gene, threshold, and analyse the
+resulting co-expression network.  This example runs the data-divided
+parallel ``pcor`` over an SPMD world, verifies it against the serial
+``cor``, and mines the network with ``networkx``.
+
+Run: ``python examples/correlation_network.py``
+"""
+
+import numpy as np
+import networkx as nx
+
+from repro.corr import cor, pcor
+from repro.data import synthetic_expression
+from repro.mpi import run_spmd
+
+
+def make_modular_data(n_genes=120, n_samples=40, n_modules=4, seed=29):
+    """Expression data with planted co-expression modules."""
+    rng = np.random.default_rng(seed)
+    X, _ = synthetic_expression(n_genes, n_samples, de_fraction=0.0,
+                                seed=seed)
+    module_of = rng.integers(0, n_modules, size=n_genes)
+    drivers = rng.normal(size=(n_modules, n_samples))
+    strength = 2.0
+    X += strength * drivers[module_of]
+    return X, module_of
+
+
+def main() -> None:
+    X, module_of = make_modular_data()
+    print(f"dataset: {X.shape[0]} genes x {X.shape[1]} samples, "
+          f"{len(set(module_of))} planted co-expression modules")
+
+    # --- parallel correlation matrix --------------------------------------
+    R = run_spmd(lambda comm: pcor(X, comm=comm), 4)[0]
+    np.testing.assert_allclose(R, cor(X), rtol=1e-10, atol=1e-12)
+    print(f"pcor on 4 ranks == serial cor "
+          f"({R.shape[0]}x{R.shape[1]} matrix)")
+
+    # --- threshold into a network ------------------------------------------
+    threshold = 0.75
+    adjacency = (np.abs(R) >= threshold) & ~np.eye(len(R), dtype=bool)
+    graph = nx.from_numpy_array(adjacency.astype(int))
+    graph.remove_nodes_from(list(nx.isolates(graph)))
+    components = list(nx.connected_components(graph))
+    print(f"\n|r| >= {threshold}: {graph.number_of_nodes()} genes, "
+          f"{graph.number_of_edges()} edges, "
+          f"{len(components)} connected components")
+
+    # --- do the components recover the planted modules? -------------------
+    recovered = 0
+    for comp in sorted(components, key=len, reverse=True)[:6]:
+        modules = [module_of[g] for g in comp]
+        dominant = max(set(modules), key=modules.count)
+        purity = modules.count(dominant) / len(modules)
+        print(f"  component of {len(comp):3d} genes -> module {dominant} "
+              f"(purity {purity:.0%})")
+        if purity > 0.9:
+            recovered += 1
+    print(f"\n{recovered} components map cleanly onto planted modules — "
+          "the workflow SPRINT's pcor was built to scale.")
+
+
+if __name__ == "__main__":
+    main()

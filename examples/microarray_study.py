@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""A realistic microarray differential-expression study.
+
+Walks through the analysis the paper's users run: a pre-processed
+two-class expression matrix (here synthetic, with missing values, at a
+scaled-down version of the paper's 6 102 x 76 dataset), tested with three
+of the pmaxT statistics, comparing unadjusted p-values against
+Westfall-Young maxT adjusted ones to show why multiple-testing adjustment
+is the whole point.
+
+Run: ``python examples/microarray_study.py``
+"""
+
+import numpy as np
+
+from repro import pmaxT
+from repro.data import inject_missing, synthetic_expression, two_class_labels
+from repro.mpi import run_spmd
+
+
+def run_test(X, labels, test, B=1_500, nprocs=4):
+    def job(comm):
+        return pmaxT(X, labels, test=test, B=B, comm=comm)
+
+    return run_spmd(job, nprocs)[0]
+
+
+def main() -> None:
+    # --- a scaled-down version of the paper's benchmark dataset ----------
+    n_genes, n0, n1 = 1_526, 38, 38  # paper: 6 102 x (38+38)
+    X, truth = synthetic_expression(
+        n_genes=n_genes, n_samples=n0 + n1, n_class1=n1,
+        de_fraction=0.03, effect_size=2.2, seed=7,
+    )
+    # microarrays have missing spots; pmaxT excludes them per gene
+    X = inject_missing(X, rate=0.01, seed=8)
+    labels = two_class_labels(n0, n1)
+    true_de = set(truth.de_genes.tolist())
+    print(f"dataset: {n_genes} genes x {n0 + n1} samples, "
+          f"{np.isnan(X).mean():.1%} missing cells, "
+          f"{len(true_de)} genes truly differential\n")
+
+    # --- three statistics over the same data ------------------------------
+    for test in ("t", "t.equalvar", "wilcoxon"):
+        res = run_test(X, labels, test)
+        raw_hits = np.nansum(res.rawp < 0.05)
+        adj_hits = res.significant(0.05)
+        true_hits = len(set(adj_hits.tolist()) & true_de)
+        false_hits = len(adj_hits) - true_hits
+        expected_false_raw = int(0.05 * n_genes)
+        print(f"test={test!r}")
+        print(f"  raw p < 0.05      : {raw_hits:4d} genes "
+              f"(~{expected_false_raw} expected by chance alone!)")
+        print(f"  maxT adjp < 0.05  : {len(adj_hits):4d} genes "
+              f"({true_hits} true, {false_hits} false)")
+
+    # --- report the top genes under the default statistic ----------------
+    res = run_test(X, labels, "t")
+    print("\ntop 10 genes (Welch t, maxT adjusted):")
+    print(res.table(limit=10))
+
+    print("\ntakeaway: thousands of raw-p 'discoveries' collapse to a "
+          "reliable FWER-controlled list after Westfall-Young adjustment — "
+          "and the permutation count that adjustment needs is exactly what "
+          "pmaxT parallelises.")
+
+
+if __name__ == "__main__":
+    main()

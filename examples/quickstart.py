@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: serial and parallel maxT permutation testing.
+
+Generates a small synthetic two-class expression matrix with a handful of
+planted differentially expressed genes, runs the serial ``mt_maxT`` (the
+multtest reference), then the parallel ``pmaxT`` on an in-process 4-rank
+world, and verifies the paper's headline property — the results are
+identical.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import mt_maxT, pmaxT
+from repro.data import synthetic_expression, two_class_labels
+from repro.mpi import run_spmd
+
+
+def main() -> None:
+    # --- data: 500 genes x 20 samples, 10 control vs 10 treated ----------
+    X, truth = synthetic_expression(
+        n_genes=500, n_samples=20, n_class1=10,
+        de_fraction=0.04, effect_size=3.0, seed=42,
+    )
+    labels = two_class_labels(10, 10)
+    print(f"dataset: {X.shape[0]} genes x {X.shape[1]} samples, "
+          f"{truth.n_de} genes truly differential")
+
+    # --- serial run (identical interface to R's mt.maxT) -----------------
+    serial = mt_maxT(X, labels, test="t", side="abs", B=2_000)
+    print(f"\nserial mt_maxT: B={serial.nperm} permutations")
+    print(serial.table(limit=8))
+
+    # --- parallel run: same call + a communicator -------------------------
+    def job(comm):
+        return pmaxT(X, labels, test="t", side="abs", B=2_000, comm=comm)
+
+    parallel = run_spmd(job, 4)[0]
+    assert np.array_equal(serial.rawp, parallel.rawp)
+    assert np.array_equal(serial.adjp, parallel.adjp)
+    print(f"\npmaxT on {parallel.nranks} ranks: results identical to serial "
+          "(the paper's reproducibility guarantee)")
+
+    p = parallel.profile
+    print("\nfive-section profile (the columns of the paper's Tables I-V):")
+    for name, seconds in zip(
+            ("pre-processing", "broadcast parameters", "create data",
+             "main kernel", "compute p-values"), p.as_row()):
+        print(f"  {name:<22} {seconds * 1000:8.2f} ms")
+
+    # --- did we find the planted genes? -----------------------------------
+    hits = parallel.significant(alpha=0.05)
+    true_set = set(truth.de_genes.tolist())
+    print(f"\nsignificant at FWER 0.05: {len(hits)} genes "
+          f"({len(set(hits.tolist()) & true_set)} of {truth.n_de} planted)")
+
+
+if __name__ == "__main__":
+    main()

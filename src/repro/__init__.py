@@ -1,0 +1,75 @@
+"""repro — reproduction of the SPRINT ``pmaxT`` parallel permutation test.
+
+Petrou, Sloan, Mewissen, Forster, Piotrowski, Dobrzelecki, Ghazal, Trew,
+Hill: *Optimization of a parallel permutation testing function for the
+SPRINT R package* (HPDC/ECMLS 2010; CCPE 23(17), 2011).
+
+Public API highlights
+---------------------
+
+* :func:`repro.mt_maxT` — serial Westfall–Young maxT (multtest's
+  ``mt.maxT``),
+* :func:`repro.pmaxT` — the parallel version, identical interface plus a
+  communicator,
+* :func:`repro.mpi.run_spmd` — launch an SPMD world of ranks in-process,
+* :mod:`repro.sprint` — the SPRINT master/worker framework layer,
+* :mod:`repro.cluster` — calibrated performance models of the paper's five
+  benchmark platforms (HECToR, ECDF, EC2, Ness, quad-core desktop),
+* :mod:`repro.data` — synthetic microarray dataset generators,
+* :mod:`repro.bench` — the harness regenerating every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import mt_maxT, pmaxT
+    from repro.data import synthetic_expression, two_class_labels
+
+    X, truth = synthetic_expression(n_genes=500, n_samples=20, seed=1)
+    labels = two_class_labels(10, 10)
+    serial = mt_maxT(X, labels, test="t", B=1000)
+    print(serial.table(limit=10))
+"""
+
+from .core import (
+    MaxTOptions,
+    MaxTResult,
+    SectionProfile,
+    mt_maxT,
+    partition_permutations,
+    pmaxT,
+)
+from .errors import (
+    ClusterModelError,
+    CommAbort,
+    CommunicatorError,
+    CompletePermutationOverflow,
+    DataError,
+    OptionError,
+    PermutationError,
+    ReproError,
+    SprintError,
+)
+from .stats import MT_NA_NUM, available_tests
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "mt_maxT",
+    "pmaxT",
+    "MaxTResult",
+    "MaxTOptions",
+    "SectionProfile",
+    "partition_permutations",
+    "available_tests",
+    "MT_NA_NUM",
+    "ReproError",
+    "OptionError",
+    "DataError",
+    "PermutationError",
+    "CompletePermutationOverflow",
+    "CommunicatorError",
+    "CommAbort",
+    "SprintError",
+    "ClusterModelError",
+    "__version__",
+]

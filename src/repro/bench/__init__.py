@@ -1,0 +1,72 @@
+"""Benchmark harness: paper constants, table/figure regeneration, report.
+
+* :mod:`repro.bench.paper` — the paper's published numbers, transcribed;
+* :mod:`repro.bench.tables` — regenerate Tables I–VI (CLI:
+  ``python -m repro.bench.tables``);
+* :mod:`repro.bench.figures` — regenerate Figures 2 and 3 (CLI:
+  ``python -m repro.bench.figures``);
+* :mod:`repro.bench.report` — paper-vs-regenerated markdown report
+  (CLI: ``python -m repro.bench.report``);
+* :mod:`repro.bench.runner` — measured-workload helpers for the
+  pytest-benchmark suite.
+
+Submodules are loaded lazily: :mod:`repro.cluster` calibrates itself from
+:mod:`repro.bench.paper` while :mod:`repro.bench.tables` drives
+:mod:`repro.cluster`, so an eager package ``__init__`` would close an import
+cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    # paper constants
+    "BENCH_B": "paper",
+    "BENCH_GENES": "paper",
+    "BENCH_SAMPLES": "paper",
+    "PROFILE_TABLES": "paper",
+    "TABLE6_BIGDATA": "paper",
+    "PaperTable": "paper",
+    "ProfileRow": "paper",
+    # tables
+    "TableRow": "tables",
+    "TABLE_PLATFORMS": "tables",
+    "profile_table_rows": "tables",
+    "render_table": "tables",
+    "render_table6": "tables",
+    # figures
+    "render_figure2": "figures",
+    "render_figure3": "figures",
+    "speedup_series": "figures",
+    # report
+    "build_report": "report",
+    # measured profile tables
+    "MeasuredRow": "measured",
+    "measure_profile": "measured",
+    "measured_profile_table": "measured",
+    "render_measured_table": "measured",
+    # measured runners
+    "Workload": "runner",
+    "measured_workload": "runner",
+    "run_serial": "runner",
+    "run_parallel": "runner",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.bench' has no attribute {name!r}") \
+            from None
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

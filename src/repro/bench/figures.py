@@ -1,0 +1,166 @@
+"""Regenerate the paper's figures.
+
+* **Figure 2** — how permutations are distributed among the available
+  processes: rendered as the rank → permutation-range map produced by the
+  *real* partition code (:mod:`repro.core.partition`), using the paper's
+  own illustration numbers (23 permutations over 3 processes) by default.
+* **Figure 3** — pmaxT speed-up (log–log) on the five platforms against the
+  optimal line: the series are computed from the simulated profile tables
+  and rendered both as a data table and as an ASCII log–log plot.
+
+CLI::
+
+    python -m repro.bench.figures             # both figures
+    python -m repro.bench.figures --figure 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from ..core.partition import partition_permutations
+from .paper import PROFILE_TABLES
+from .tables import profile_table_rows
+
+__all__ = [
+    "render_figure2",
+    "speedup_series",
+    "render_figure3",
+    "main",
+]
+
+
+def render_figure2(nperm: int = 23, nranks: int = 3) -> str:
+    """Render the permutation-distribution scheme of paper Figure 2.
+
+    Permutations are shown 1-based like the paper's drawing: permutation 1
+    is the observed labelling, owned by the master; every other process
+    skips it and forwards its generator to its own chunk.
+    """
+    plan = partition_permutations(nperm, nranks)
+    lines = [
+        f"Figure 2 — distribution of {nperm} permutations over "
+        f"{nranks} processes",
+        f"{'serial':>8}: " + " ".join(str(i + 1) for i in range(nperm)),
+    ]
+    for chunk in plan.chunks:
+        cells = []
+        if not chunk.includes_observed:
+            cells.append("1(skip)")
+        cells.extend(str(i + 1) for i in range(chunk.start, chunk.stop))
+        marker = " <- master, owns the observed permutation" \
+            if chunk.includes_observed else ""
+        lines.append(f"  rank {chunk.rank}: " + " ".join(cells) + marker)
+    lines.append(
+        "  invariant: chunks are disjoint and cover the serial sequence "
+        f"exactly (sum of counts = {sum(c.count for c in plan.chunks)})"
+    )
+    return "\n".join(lines)
+
+
+def speedup_series(kind: str = "total") -> dict[str, list[tuple[int, float]]]:
+    """Speed-up series per platform for Figure 3.
+
+    Parameters
+    ----------
+    kind:
+        ``"total"`` (the paper's Figure 3 uses total execution times) or
+        ``"kernel"``.
+
+    Returns
+    -------
+    dict
+        ``platform -> [(procs, speedup), ...]`` plus an ``"optimal"``
+        series covering the full process range.
+    """
+    if kind not in ("total", "kernel"):
+        raise ValueError(f"kind must be 'total' or 'kernel', got {kind!r}")
+    series: dict[str, list[tuple[int, float]]] = {}
+    max_procs = 1
+    for name in PROFILE_TABLES:
+        rows = profile_table_rows(name)
+        pick = (lambda r: r.speedup_total) if kind == "total" \
+            else (lambda r: r.speedup_kernel)
+        series[name] = [(r.procs, pick(r)) for r in rows]
+        max_procs = max(max_procs, rows[-1].procs)
+    series["optimal"] = [(p, float(p))
+                         for p in _powers_of_two_up_to(max_procs)]
+    return series
+
+
+def _powers_of_two_up_to(n: int) -> list[int]:
+    out = [1]
+    while out[-1] * 2 <= n:
+        out.append(out[-1] * 2)
+    return out
+
+
+def render_figure3(kind: str = "total", width: int = 64,
+                   height: int = 20) -> str:
+    """ASCII log–log rendering of the Figure 3 speed-up curves."""
+    series = speedup_series(kind)
+    max_p = max(p for pts in series.values() for p, _ in pts)
+    max_s = max(s for pts in series.values() for _, s in pts)
+    lx = math.log10(max_p)
+    ly = math.log10(max_s)
+
+    glyphs = {"optimal": ".", "hector": "H", "ecdf": "E", "ec2": "A",
+              "ness": "N", "quadcore": "Q"}
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for name, pts in series.items():
+        g = glyphs.get(name, "?")
+        for p, s in pts:
+            x = round(math.log10(p) / lx * width) if lx > 0 else 0
+            y = round(math.log10(max(s, 1.0)) / ly * height) if ly > 0 else 0
+            grid[height - y][x] = g
+
+    lines = [
+        f"Figure 3 — pmaxT speed-up ({kind} execution times), log–log",
+        f"  speedup (1..{max_s:.0f}) vertical, process count (1..{max_p}) "
+        "horizontal",
+    ]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append("  +" + "-" * (width + 1))
+    lines.append(
+        "  legend: . optimal   H HECToR   E ECDF   A Amazon EC2   "
+        "N Ness   Q quad-core"
+    )
+    lines.append("")
+    lines.append(f"  {'procs':>6} " + " ".join(
+        f"{name:>9}" for name in ("optimal", "hector", "ecdf", "ec2",
+                                  "ness", "quadcore")))
+    all_procs = sorted({p for pts in series.values() for p, _ in pts})
+    lookup = {name: dict(pts) for name, pts in series.items()}
+    for p in all_procs:
+        cells = []
+        for name in ("optimal", "hector", "ecdf", "ec2", "ness", "quadcore"):
+            v = lookup[name].get(p)
+            cells.append(f"{v:>9.2f}" if v is not None else f"{'-':>9}")
+        lines.append(f"  {p:>6} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print regenerated figures."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's figures (2: permutation "
+        "distribution, 3: speed-up curves)."
+    )
+    parser.add_argument("--figure", type=int, choices=(2, 3),
+                        help="figure number (default: both)")
+    parser.add_argument("--kind", choices=("total", "kernel"),
+                        default="total", help="speed-up kind for Figure 3")
+    args = parser.parse_args(argv)
+
+    chunks = []
+    if args.figure in (None, 2):
+        chunks.append(render_figure2())
+    if args.figure in (None, 3):
+        chunks.append(render_figure3(kind=args.kind))
+    print("\n\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

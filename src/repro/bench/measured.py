@@ -1,0 +1,127 @@
+"""Measured five-section profile tables on the local machine.
+
+The paper's Tables I–V report the pmaxT section profile per process count
+on five platforms.  This module produces the same table *measured* on
+whatever machine runs it, using the real implementation over the threaded
+SPMD world — the sixth row of the paper's benchmark story, "your machine".
+
+CLI::
+
+    python -m repro.bench.measured                 # default workload
+    python -m repro.bench.measured --genes 2000 --b 2000 --procs 1 2 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform as platform_mod
+from dataclasses import dataclass
+
+
+from ..core import pmaxT
+from ..core.profile import SectionProfile
+from ..data import synthetic_expression, two_class_labels
+from ..mpi import run_spmd
+
+__all__ = ["MeasuredRow", "measure_profile", "measured_profile_table",
+           "render_measured_table", "main"]
+
+
+@dataclass(frozen=True)
+class MeasuredRow:
+    """One measured table row (same columns as the paper's tables)."""
+
+    procs: int
+    profile: SectionProfile
+    speedup_total: float
+    speedup_kernel: float
+
+
+def measure_profile(X, classlabel, nprocs: int, *, B: int,
+                    repeats: int = 3, **kwargs) -> SectionProfile:
+    """Best-of-``repeats`` profile of a pmaxT run at ``nprocs`` ranks.
+
+    Like the paper, the minimum over independent executions is reported to
+    suppress interference from other load on the machine.
+    """
+    best: SectionProfile | None = None
+    for _ in range(repeats):
+        if nprocs == 1:
+            result = pmaxT(X, classlabel, B=B, **kwargs)
+        else:
+            def job(comm):
+                return pmaxT(X, classlabel, B=B, comm=comm, **kwargs)
+
+            result = run_spmd(job, nprocs)[0]
+        if best is None or result.profile.total() < best.total():
+            best = result.profile
+    return best
+
+
+def measured_profile_table(proc_counts=(1, 2, 4), *, n_genes: int = 1_000,
+                           n_samples: int = 24, B: int = 1_000,
+                           repeats: int = 3, seed: int = 5,
+                           **kwargs) -> list[MeasuredRow]:
+    """Measure the profile table over the given process counts."""
+    X, _ = synthetic_expression(n_genes, n_samples,
+                                n_class1=n_samples // 2, seed=seed)
+    labels = two_class_labels(n_samples - n_samples // 2, n_samples // 2)
+    profiles = [measure_profile(X, labels, p, B=B, repeats=repeats,
+                                **kwargs)
+                for p in proc_counts]
+    base = profiles[0]
+    rows = []
+    for procs, prof in zip(proc_counts, profiles):
+        rows.append(MeasuredRow(
+            procs=procs,
+            profile=prof,
+            speedup_total=prof.speedup_vs(base),
+            speedup_kernel=prof.kernel_speedup_vs(base),
+        ))
+    return rows
+
+
+def render_measured_table(rows: list[MeasuredRow], *, n_genes: int,
+                          n_samples: int, B: int) -> str:
+    """Render measured rows in the paper's table layout."""
+    lines = [
+        f"Measured pmaxT profile — this machine "
+        f"({platform_mod.processor() or platform_mod.machine()}, "
+        f"{platform_mod.system()})",
+        f"  workload: B = {B:,} permutations, {n_genes:,} x {n_samples} "
+        "matrix; minimum of repeated runs; threaded SPMD world",
+        f"{'Procs':>5}  {'Pre':>8}  {'Bcast':>8}  {'Create':>8}  "
+        f"{'Kernel':>10}  {'P-values':>9}  {'Speedup':>8}  {'Spd(kern)':>9}",
+    ]
+    for r in rows:
+        p = r.profile
+        lines.append(
+            f"{r.procs:>5}  {p.pre_processing:>8.4f}  "
+            f"{p.broadcast_parameters:>8.4f}  {p.create_data:>8.4f}  "
+            f"{p.main_kernel:>10.4f}  {p.compute_pvalues:>9.4f}  "
+            f"{r.speedup_total:>8.2f}  {r.speedup_kernel:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the pmaxT five-section profile on this machine."
+    )
+    parser.add_argument("--genes", type=int, default=1_000)
+    parser.add_argument("--samples", type=int, default=24)
+    parser.add_argument("--b", type=int, default=1_000)
+    parser.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    rows = measured_profile_table(
+        tuple(args.procs), n_genes=args.genes, n_samples=args.samples,
+        B=args.b, repeats=args.repeats)
+    print(render_measured_table(rows, n_genes=args.genes,
+                                n_samples=args.samples, B=args.b))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""The paper's published measurements, transcribed verbatim.
+
+These constants serve two purposes:
+
+1. **Calibration anchors** — :mod:`repro.cluster.calibrate` fits each
+   platform's parametric performance model to a *subset* of these numbers
+   (single-process kernel cost, contention by node occupancy, collective
+   coefficients), and
+2. **Ground truth for the report** — :mod:`repro.bench.report` compares the
+   simulator's regenerated tables against every published row and records
+   the residuals in ``EXPERIMENTS.md``.
+
+Benchmark workload for Tables I–V and Figure 3 (paper Section 4.3):
+B = 150 000 permutations on a 6 102 x 76 matrix; values are minima over
+five independent executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ProfileRow",
+    "PaperTable",
+    "TABLE1_HECTOR",
+    "TABLE2_ECDF",
+    "TABLE3_EC2",
+    "TABLE4_NESS",
+    "TABLE5_QUADCORE",
+    "PROFILE_TABLES",
+    "BigRunRow",
+    "TABLE6_BIGDATA",
+    "BENCH_B",
+    "BENCH_GENES",
+    "BENCH_SAMPLES",
+]
+
+#: Workload of Tables I–V / Figure 3.
+BENCH_B: int = 150_000
+BENCH_GENES: int = 6_102
+BENCH_SAMPLES: int = 76
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One row of a profile table (Tables I–V)."""
+
+    procs: int
+    pre_processing: float
+    broadcast_parameters: float
+    create_data: float
+    main_kernel: float
+    compute_pvalues: float
+    speedup_total: float
+    speedup_kernel: float
+
+    @property
+    def total(self) -> float:
+        return (self.pre_processing + self.broadcast_parameters
+                + self.create_data + self.main_kernel + self.compute_pvalues)
+
+
+@dataclass(frozen=True)
+class PaperTable:
+    """A full profile table with its platform identity."""
+
+    table_id: str
+    platform: str
+    rows: tuple[ProfileRow, ...]
+
+    def row_for(self, procs: int) -> ProfileRow:
+        for row in self.rows:
+            if row.procs == procs:
+                return row
+        raise KeyError(f"{self.table_id} has no row for {procs} processes")
+
+    @property
+    def proc_counts(self) -> tuple[int, ...]:
+        return tuple(row.procs for row in self.rows)
+
+
+TABLE1_HECTOR = PaperTable(
+    table_id="Table I",
+    platform="hector",
+    rows=(
+        ProfileRow(1,   0.260, 0.001, 0.010, 795.600, 0.002, 1.00, 1.00),
+        ProfileRow(2,   0.261, 0.004, 0.012, 406.204, 0.884, 1.95, 1.95),
+        ProfileRow(4,   0.259, 0.009, 0.013, 207.776, 0.005, 3.82, 3.82),
+        ProfileRow(8,   0.260, 0.013, 0.013, 104.169, 0.489, 7.58, 7.63),
+        ProfileRow(16,  0.259, 0.015, 0.013, 51.931, 0.713, 15.03, 15.32),
+        ProfileRow(32,  0.259, 0.017, 0.013, 25.993, 0.784, 29.40, 30.60),
+        ProfileRow(64,  0.259, 0.020, 0.013, 13.028, 0.611, 57.11, 61.06),
+        ProfileRow(128, 0.259, 0.023, 0.013, 6.516, 0.662, 106.48, 122.09),
+        ProfileRow(256, 0.260, 0.024, 0.013, 3.257, 0.611, 190.99, 244.27),
+        ProfileRow(512, 0.260, 0.028, 0.013, 1.633, 0.606, 313.09, 487.20),
+    ),
+)
+
+TABLE2_ECDF = PaperTable(
+    table_id="Table II",
+    platform="ecdf",
+    rows=(
+        ProfileRow(1,   0.157, 0.000, 0.003, 467.273, 0.000, 1.00, 1.00),
+        ProfileRow(2,   0.163, 0.002, 0.003, 234.848, 0.000, 1.99, 1.99),
+        ProfileRow(4,   0.162, 0.003, 0.004, 123.174, 0.000, 3.79, 3.79),
+        ProfileRow(8,   0.159, 0.004, 0.005, 79.576, 1.217, 5.77, 5.87),
+        ProfileRow(16,  0.158, 0.032, 0.005, 39.467, 1.224, 11.43, 11.84),
+        ProfileRow(32,  0.164, 0.072, 0.005, 19.862, 1.235, 21.91, 23.53),
+        ProfileRow(64,  0.157, 0.072, 0.005, 9.935, 1.297, 40.77, 47.03),
+        ProfileRow(128, 0.162, 0.086, 0.007, 5.813, 1.304, 63.40, 80.38),
+    ),
+)
+
+TABLE3_EC2 = PaperTable(
+    table_id="Table III",
+    platform="ec2",
+    rows=(
+        ProfileRow(1,  0.272, 0.000, 0.006, 539.074, 0.000, 1.00, 1.00),
+        ProfileRow(2,  0.271, 0.004, 0.009, 291.514, 0.005, 1.84, 1.84),
+        ProfileRow(4,  0.273, 0.011, 0.014, 187.342, 0.043, 2.87, 2.87),
+        ProfileRow(8,  0.278, 0.880, 0.014, 90.806, 2.574, 5.70, 5.93),
+        ProfileRow(16, 0.268, 1.735, 0.022, 43.756, 4.983, 10.62, 12.32),
+        ProfileRow(32, 0.270, 2.917, 0.019, 22.308, 3.834, 18.37, 24.16),
+    ),
+)
+
+TABLE4_NESS = PaperTable(
+    table_id="Table IV",
+    platform="ness",
+    rows=(
+        ProfileRow(1,  0.393, 0.000, 0.010, 852.223, 0.000, 1.00, 1.00),
+        ProfileRow(2,  0.467, 0.007, 0.012, 443.050, 0.001, 1.92, 1.92),
+        ProfileRow(4,  0.398, 0.029, 0.012, 216.595, 0.001, 3.93, 3.93),
+        ProfileRow(8,  0.394, 0.032, 0.014, 117.317, 0.001, 7.24, 7.26),
+        ProfileRow(16, 0.436, 0.109, 0.019, 84.442, 0.001, 10.03, 10.09),
+    ),
+)
+
+TABLE5_QUADCORE = PaperTable(
+    table_id="Table V",
+    platform="quadcore",
+    rows=(
+        ProfileRow(1, 0.140, 0.000, 0.007, 566.638, 0.001, 1.00, 1.00),
+        ProfileRow(2, 0.136, 0.003, 0.008, 282.623, 0.085, 2.00, 2.00),
+        ProfileRow(4, 0.135, 0.010, 0.013, 167.439, 0.705, 3.37, 3.38),
+    ),
+)
+
+#: All five profile tables keyed by platform name.
+PROFILE_TABLES: dict[str, PaperTable] = {
+    t.platform: t
+    for t in (TABLE1_HECTOR, TABLE2_ECDF, TABLE3_EC2, TABLE4_NESS,
+              TABLE5_QUADCORE)
+}
+
+
+@dataclass(frozen=True)
+class BigRunRow:
+    """One row of Table VI (256 HECToR cores; serial times are the paper's
+    linear extrapolations of the serial R implementation)."""
+
+    n_genes: int
+    n_samples: int
+    size_mb: float
+    permutations: int
+    total_seconds: float
+    serial_estimate_seconds: float
+
+
+TABLE6_BIGDATA: tuple[BigRunRow, ...] = (
+    BigRunRow(36_612, 76, 21.22, 500_000, 73.18, 20_750.0),
+    BigRunRow(36_612, 76, 21.22, 1_000_000, 146.64, 41_500.0),
+    BigRunRow(36_612, 76, 21.22, 2_000_000, 290.22, 83_000.0),
+    BigRunRow(73_224, 76, 42.45, 500_000, 148.46, 35_000.0),
+    BigRunRow(73_224, 76, 42.45, 1_000_000, 294.61, 70_000.0),
+    BigRunRow(73_224, 76, 42.45, 2_000_000, 591.48, 140_000.0),
+)
+
+#: Table VI runs all used this many HECToR cores.
+TABLE6_PROCS: int = 256

@@ -1,0 +1,279 @@
+"""Paper-vs-regenerated comparison report (the ``EXPERIMENTS.md`` generator).
+
+For every table and figure of the paper's evaluation this module runs the
+regeneration path, compares it against the published numbers transcribed in
+:mod:`repro.bench.paper`, and emits a markdown report with per-row residuals
+and the qualitative shape checks (who wins, where the drop-offs fall).
+
+CLI::
+
+    python -m repro.bench.report                  # print to stdout
+    python -m repro.bench.report -o EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..cluster import get_platform, serial_r_estimate, simulate_pmaxt
+from .figures import render_figure2, speedup_series
+from .paper import (
+    BENCH_B,
+    PROFILE_TABLES,
+    TABLE6_BIGDATA,
+    TABLE6_PROCS,
+)
+from .tables import TABLE_PLATFORMS, profile_table_rows
+
+__all__ = ["build_report", "main"]
+
+_ROMAN = {1: "I", 2: "II", 3: "III", 4: "IV", 5: "V", 6: "VI"}
+
+
+def _pct(sim: float, paper: float) -> str:
+    if paper == 0:
+        return "—"
+    return f"{(sim - paper) / paper * 100:+.1f}%"
+
+
+def _profile_section(number: int) -> list[str]:
+    name = TABLE_PLATFORMS[number]
+    platform = get_platform(name)
+    paper = PROFILE_TABLES[name]
+    rows = profile_table_rows(name)
+    lines = [
+        f"### Table {_ROMAN[number]} — {platform.description}",
+        "",
+        f"Workload: B = {BENCH_B:,} permutations on the 6 102 × 76 matrix. "
+        f"Interconnect: {platform.interconnect}.",
+        "",
+        "| P | kernel sim (s) | kernel paper (s) | Δ | total speedup sim | "
+        "total speedup paper | kernel speedup sim | kernel speedup paper |",
+        "|---:|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for row in rows:
+        ref = paper.row_for(row.procs)
+        lines.append(
+            f"| {row.procs} | {row.main_kernel:.3f} | {ref.main_kernel:.3f} "
+            f"| {_pct(row.main_kernel, ref.main_kernel)} "
+            f"| {row.speedup_total:.2f} | {ref.speedup_total:.2f} "
+            f"| {row.speedup_kernel:.2f} | {ref.speedup_kernel:.2f} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _table6_section() -> list[str]:
+    platform = get_platform("hector")
+    lines = [
+        "### Table VI — large datasets, 256 HECToR cores",
+        "",
+        "| genes | permutations | total sim (s) | total paper (s) | Δ | "
+        "serial-R est. sim (s) | serial-R est. paper (s) |",
+        "|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for ref in TABLE6_BIGDATA:
+        run = simulate_pmaxt(platform, TABLE6_PROCS, rows=ref.n_genes,
+                             permutations=ref.permutations)
+        serial = serial_r_estimate(ref.permutations, ref.n_genes)
+        lines.append(
+            f"| {ref.n_genes:,} | {ref.permutations:,} | {run.total:.2f} "
+            f"| {ref.total_seconds:.2f} | {_pct(run.total, ref.total_seconds)} "
+            f"| {serial:,.0f} | {ref.serial_estimate_seconds:,.0f} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _shape_checks() -> list[str]:
+    """The qualitative claims of paper Section 4.4, re-verified."""
+    checks: list[str] = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        checks.append(f"- {'PASS' if ok else 'FAIL'} — {label}: {detail}")
+
+    hector = profile_table_rows("hector")
+    h512 = next(r for r in hector if r.procs == 512)
+    check(
+        "HECToR kernel scales near-optimally to 512",
+        h512.speedup_kernel > 450,
+        f"kernel speedup {h512.speedup_kernel:.0f} at P=512 "
+        "(paper: 487.20)",
+    )
+    check(
+        "total and kernel speedups diverge at high P (HECToR)",
+        h512.speedup_kernel / h512.speedup_total > 1.3,
+        f"kernel/total ratio {h512.speedup_kernel / h512.speedup_total:.2f} "
+        "at P=512 (paper: 487.2/313.1 = 1.56)",
+    )
+    ecdf = {r.procs: r for r in profile_table_rows("ecdf")}
+    eff4 = ecdf[4].speedup_total / 4
+    eff8 = ecdf[8].speedup_total / 8
+    check(
+        "ECDF drop-off at 4→8 processes (memory bus)",
+        eff8 < eff4 - 0.1,
+        f"parallel efficiency {eff4:.2f} at P=4 vs {eff8:.2f} at P=8",
+    )
+    ec2 = {r.procs: r for r in profile_table_rows("ec2")}
+    eff2 = ec2[2].speedup_total / 2
+    eff4b = ec2[4].speedup_total / 4
+    check(
+        "EC2 drop-off at 2→4 processes (instance fills)",
+        eff4b < eff2 - 0.1,
+        f"parallel efficiency {eff2:.2f} at P=2 vs {eff4b:.2f} at P=4",
+    )
+    check(
+        "EC2 broadcast grows dramatically with instance count",
+        ec2[32].broadcast_parameters > 50 * ec2[2].broadcast_parameters,
+        f"{ec2[2].broadcast_parameters * 1000:.0f} ms at P=2 vs "
+        f"{ec2[32].broadcast_parameters * 1000:.0f} ms at P=32 "
+        "(paper: 4 ms → 2 917 ms)",
+    )
+    ness = {r.procs: r for r in profile_table_rows("ness")}
+    check(
+        "Ness flattens at the full 16-core box",
+        ness[16].speedup_total < 12,
+        f"speedup {ness[16].speedup_total:.1f} at P=16 (paper: 10.03)",
+    )
+    platform = get_platform("hector")
+    t36 = simulate_pmaxt(platform, TABLE6_PROCS, rows=36_612,
+                         permutations=500_000).total
+    t73 = simulate_pmaxt(platform, TABLE6_PROCS, rows=73_224,
+                         permutations=500_000).total
+    check(
+        "doubling the dataset ≈ doubles the elapsed time (Table VI)",
+        1.8 < t73 / t36 < 2.2,
+        f"ratio {t73 / t36:.2f} (paper: 148.46/73.18 = 2.03)",
+    )
+    b05 = simulate_pmaxt(platform, TABLE6_PROCS, rows=36_612,
+                         permutations=500_000).total
+    b20 = simulate_pmaxt(platform, TABLE6_PROCS, rows=36_612,
+                         permutations=2_000_000).total
+    check(
+        "4x the permutations ≈ 4x the elapsed time (Table VI)",
+        3.5 < b20 / b05 < 4.5,
+        f"ratio {b20 / b05:.2f} (paper: 290.22/73.18 = 3.97)",
+    )
+    series = speedup_series("total")
+    ordering_at_32 = sorted(
+        ((dict(series[n]).get(32, 0.0), n) for n in
+         ("hector", "ecdf", "ec2")), reverse=True)
+    check(
+        "platform ordering at P=32: HECToR > ECDF > EC2",
+        [n for _, n in ordering_at_32] == ["hector", "ecdf", "ec2"],
+        " > ".join(f"{n}({s:.1f})" for s, n in ordering_at_32),
+    )
+    return checks
+
+
+def build_report() -> str:
+    """Assemble the full markdown comparison report."""
+    lines = [
+        "# EXPERIMENTS — paper vs regenerated",
+        "",
+        "Reproduction of *Optimization of a parallel permutation testing "
+        "function for the SPRINT R package* (Petrou et al., HPDC/ECMLS "
+        "2010; CCPE 2011).",
+        "",
+        "The paper's Tables I–VI were measured on five physical platforms; "
+        "this environment has one CPU core and no MPI, so the tables are "
+        "regenerated by a calibrated platform simulator (see DESIGN.md §2) "
+        "that executes the real pmaxT partition/orchestration logic and "
+        "prices it with per-platform models fitted to the paper's own "
+        "single-process and contention anchors.  Exact equality is neither "
+        "expected nor meaningful; the *shape* checks at the end are the "
+        "reproduction criteria.  Correctness of the algorithm itself "
+        "(serial ≡ parallel, exactness of complete-permutation p-values) "
+        "is established by the test suite, not by these tables.",
+        "",
+        "Regenerate with `python -m repro.bench.report`, or per-table via "
+        "`python -m repro.bench.tables --table N --paper`.",
+        "",
+        "## Profile tables",
+        "",
+    ]
+    for number in range(1, 6):
+        lines += _profile_section(number)
+    lines += _table6_section()
+    lines += [
+        "### Figure 1 — SPRINT architecture",
+        "",
+        "Not an experiment: the architecture is *implemented* by "
+        "`repro.sprint` (master/worker command loop, function registry) and "
+        "exercised by `examples/sprint_session.py` and the framework tests.",
+        "",
+        "### Figure 2 — permutation distribution",
+        "",
+        "```",
+        render_figure2(),
+        "```",
+        "",
+        "### Figure 3 — speed-up curves",
+        "",
+        "Regenerated from the simulated tables via "
+        "`python -m repro.bench.figures --figure 3`; the series equal the "
+        "speedup columns reported above.",
+        "",
+        "## Qualitative shape checks (paper Section 4.4)",
+        "",
+    ]
+    lines += _shape_checks()
+    lines += [
+        "",
+        "## Appendix — measured on this machine",
+        "",
+        "The tables above are simulated; this one is the *real* Python "
+        "implementation profiled on the machine that generated this "
+        "report (threaded SPMD world, small workload, minimum of 3 runs). "
+        "On a single-core host the parallel rows measure substrate "
+        "overhead rather than speed-up — the correctness guarantee "
+        "(parallel ≡ serial) holds regardless and is what the test suite "
+        "enforces.",
+        "",
+        "```",
+    ]
+    from .measured import measured_profile_table, render_measured_table
+
+    measured_rows = measured_profile_table((1, 2, 4), n_genes=600,
+                                           n_samples=24, B=600)
+    lines.append(render_measured_table(measured_rows, n_genes=600,
+                                       n_samples=24, B=600))
+    lines += [
+        "```",
+        "",
+        "## Known residuals",
+        "",
+        "- ECDF P=128: the paper's kernel time (5.813 s) sits ~13% above "
+        "the occupancy model (the paper's own kernel speedup drops from "
+        "47.0 to 80.4/128 there); the fitted per-occupancy factor averages "
+        "over it, so the simulator is optimistic at that single point.",
+        "- Table VI totals run ~7–11% below the paper: the big exon "
+        "matrices exceed HECToR's L2 per-core cache so the real per-row "
+        "kernel cost grows slightly with m, which the linear-in-rows model "
+        "ignores.  The paper's headline ratios (2× data → 2× time, linear "
+        "in B, ~280× vs serial R) are preserved.",
+        "- EC2 compute-p-values is noisy in the paper (2.57/4.98/3.83 s "
+        "for P=8/16/32); the fitted log-domain model smooths through it.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Generate the paper-vs-regenerated comparison report."
+    )
+    parser.add_argument("-o", "--output", help="write to this file")
+    args = parser.parse_args(argv)
+    report = build_report()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Measured-benchmark helpers (real wall-clock, this machine).
+
+Besides regenerating the paper's simulated tables, the repository also
+measures the *actual* Python implementation: kernel throughput per
+statistic, generator costs, and real ThreadComm scaling.  These helpers
+standardise the workloads so ``benchmarks/bench_measured_*.py`` stay small
+and comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import mt_maxT, pmaxT
+from ..data import (
+    block_labels,
+    paired_labels,
+    synthetic_blocked,
+    synthetic_expression,
+    synthetic_paired,
+    two_class_labels,
+)
+from ..mpi import run_spmd
+
+__all__ = ["Workload", "measured_workload", "run_serial", "run_parallel",
+           "kernel_permutations_per_second"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A ready-to-run (matrix, labels, options) bundle."""
+
+    name: str
+    X: np.ndarray
+    classlabel: np.ndarray
+    test: str
+    B: int
+
+    @property
+    def m(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self.X.shape[1])
+
+
+def measured_workload(test: str = "t", *, n_genes: int = 600,
+                      n_samples: int = 24, B: int = 400,
+                      seed: int = 7) -> Workload:
+    """A laptop-scale workload for one statistic family."""
+    if test == "pairt":
+        npairs = max(n_samples // 2, 4)
+        X, _ = synthetic_paired(n_genes, npairs, seed=seed)
+        labels = paired_labels(npairs)
+    elif test == "blockf":
+        nblocks, k = max(n_samples // 3, 4), 3
+        X, _ = synthetic_blocked(n_genes, nblocks, k, seed=seed)
+        labels = block_labels(nblocks, k)
+    elif test == "f":
+        per = max(n_samples // 3, 4)
+        X, _ = synthetic_expression(n_genes, 3 * per, n_class1=per, seed=seed)
+        from ..data import multiclass_labels
+
+        labels = multiclass_labels([per, per, per])
+    else:
+        half = n_samples // 2
+        X, _ = synthetic_expression(n_genes, 2 * half, n_class1=half,
+                                    seed=seed)
+        labels = two_class_labels(half, half)
+    return Workload(name=f"{test}-{n_genes}x{n_samples}-B{B}", X=X,
+                    classlabel=labels, test=test, B=B)
+
+
+def run_serial(work: Workload, **kwargs):
+    """Execute the workload serially (``mt_maxT``)."""
+    return mt_maxT(work.X, work.classlabel, test=work.test, B=work.B,
+                   **kwargs)
+
+
+def run_parallel(work: Workload, nprocs: int, **kwargs):
+    """Execute the workload on a ThreadComm world; returns the master result."""
+    def job(comm):
+        return pmaxT(work.X, work.classlabel, test=work.test, B=work.B,
+                     comm=comm, **kwargs)
+
+    return run_spmd(job, nprocs)[0]
+
+
+def kernel_permutations_per_second(result) -> float:
+    """Throughput metric from a profiled result."""
+    kernel = result.profile.main_kernel if result.profile else float("nan")
+    return result.nperm / kernel if kernel and kernel > 0 else float("nan")

@@ -1,0 +1,185 @@
+"""Regenerate the paper's Tables I–VI.
+
+Each profile table (I–V) is produced by running the calibrated simulator
+over the paper's process counts for that platform and formatting the five
+sections plus total/kernel speedups exactly like the paper's layout.
+Table VI runs the two large exon-array workloads on 256 simulated HECToR
+cores and prints the serial-R comparison column.
+
+Usable as a library (:func:`profile_table_rows`, :func:`render_table`) and
+as a CLI::
+
+    python -m repro.bench.tables              # all tables
+    python -m repro.bench.tables --table 3    # Table III (EC2) only
+    python -m repro.bench.tables --paper      # include the paper's values
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from ..cluster import (
+    SimulatedRun,
+    get_platform,
+    serial_r_estimate,
+    simulate_pmaxt,
+    simulate_scaling,
+)
+from .paper import (
+    BENCH_B,
+    PROFILE_TABLES,
+    TABLE6_BIGDATA,
+    TABLE6_PROCS,
+    PaperTable,
+)
+
+__all__ = [
+    "TableRow",
+    "profile_table_rows",
+    "render_table",
+    "render_table6",
+    "TABLE_PLATFORMS",
+    "main",
+]
+
+#: Table number -> platform name, as in the paper.
+TABLE_PLATFORMS: dict[int, str] = {
+    1: "hector",
+    2: "ecdf",
+    3: "ec2",
+    4: "ness",
+    5: "quadcore",
+}
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One formatted row of a regenerated profile table."""
+
+    procs: int
+    pre_processing: float
+    broadcast_parameters: float
+    create_data: float
+    main_kernel: float
+    compute_pvalues: float
+    speedup_total: float
+    speedup_kernel: float
+
+    @classmethod
+    def from_run(cls, run: SimulatedRun, baseline: SimulatedRun) -> "TableRow":
+        p = run.profile
+        return cls(
+            procs=run.nprocs,
+            pre_processing=p.pre_processing,
+            broadcast_parameters=p.broadcast_parameters,
+            create_data=p.create_data,
+            main_kernel=p.main_kernel,
+            compute_pvalues=p.compute_pvalues,
+            speedup_total=run.speedup_vs(baseline),
+            speedup_kernel=run.kernel_speedup_vs(baseline),
+        )
+
+
+def profile_table_rows(platform_name: str,
+                       proc_counts: tuple[int, ...] | None = None,
+                       *, permutations: int = BENCH_B) -> list[TableRow]:
+    """Simulate a platform's profile table (the paper's process counts)."""
+    platform = get_platform(platform_name)
+    runs = simulate_scaling(platform, proc_counts, permutations=permutations)
+    baseline = runs[0]
+    return [TableRow.from_run(run, baseline) for run in runs]
+
+
+_HEADER = (
+    f"{'Procs':>5}  {'Pre':>8}  {'Bcast':>8}  {'Create':>8}  "
+    f"{'Kernel':>10}  {'P-values':>9}  {'Speedup':>8}  {'Spd(kern)':>9}"
+)
+
+
+def _format_row(r: TableRow) -> str:
+    return (
+        f"{r.procs:>5}  {r.pre_processing:>8.3f}  "
+        f"{r.broadcast_parameters:>8.3f}  {r.create_data:>8.3f}  "
+        f"{r.main_kernel:>10.3f}  {r.compute_pvalues:>9.3f}  "
+        f"{r.speedup_total:>8.2f}  {r.speedup_kernel:>9.2f}"
+    )
+
+
+def render_table(table_number: int, *, include_paper: bool = False) -> str:
+    """Render one regenerated profile table (1–5) as text."""
+    platform_name = TABLE_PLATFORMS[table_number]
+    paper: PaperTable = PROFILE_TABLES[platform_name]
+    platform = get_platform(platform_name)
+    rows = profile_table_rows(platform_name)
+    lines = [
+        f"Table {'I' * table_number if table_number <= 3 else ['IV', 'V'][table_number - 4]}"
+        f" — pmaxT profile, {platform.description}",
+        f"  workload: B = {BENCH_B:,} permutations, 6 102 x 76 matrix "
+        f"(simulated; model calibrated from the paper)",
+        _HEADER,
+    ]
+    for row in rows:
+        lines.append(_format_row(row))
+        if include_paper:
+            ref = paper.row_for(row.procs)
+            lines.append(
+                f"{'paper':>5}  {ref.pre_processing:>8.3f}  "
+                f"{ref.broadcast_parameters:>8.3f}  {ref.create_data:>8.3f}  "
+                f"{ref.main_kernel:>10.3f}  {ref.compute_pvalues:>9.3f}  "
+                f"{ref.speedup_total:>8.2f}  {ref.speedup_kernel:>9.2f}"
+            )
+    return "\n".join(lines)
+
+
+def render_table6(*, include_paper: bool = False) -> str:
+    """Render the regenerated Table VI (big datasets on 256 HECToR cores)."""
+    platform = get_platform("hector")
+    lines = [
+        "Table VI — pmaxT vs serial R, 256 HECToR cores (simulated)",
+        f"{'Genes':>7} {'Samples':>8} {'Size MB':>8} {'Permutations':>13} "
+        f"{'Total (s)':>10} {'Serial R est. (s)':>18}",
+    ]
+    for ref in TABLE6_BIGDATA:
+        run = simulate_pmaxt(platform, TABLE6_PROCS, rows=ref.n_genes,
+                             cols=ref.n_samples,
+                             permutations=ref.permutations)
+        serial = serial_r_estimate(ref.permutations, ref.n_genes)
+        lines.append(
+            f"{ref.n_genes:>7} {ref.n_samples:>8} {ref.size_mb:>8.2f} "
+            f"{ref.permutations:>13,} {run.total:>10.2f} {serial:>18,.0f}"
+        )
+        if include_paper:
+            lines.append(
+                f"{'paper':>7} {'':>8} {'':>8} {'':>13} "
+                f"{ref.total_seconds:>10.2f} "
+                f"{ref.serial_estimate_seconds:>18,.0f}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print regenerated tables."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's benchmark tables from the "
+        "calibrated platform simulator."
+    )
+    parser.add_argument("--table", type=int, choices=range(1, 7),
+                        help="table number (default: all six)")
+    parser.add_argument("--paper", action="store_true",
+                        help="interleave the paper's published values")
+    args = parser.parse_args(argv)
+
+    numbers = [args.table] if args.table else list(range(1, 7))
+    chunks = []
+    for n in numbers:
+        if n == 6:
+            chunks.append(render_table6(include_paper=args.paper))
+        else:
+            chunks.append(render_table(n, include_paper=args.paper))
+    print("\n\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

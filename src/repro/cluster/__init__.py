@@ -1,0 +1,58 @@
+"""Calibrated performance models of the paper's five benchmark platforms.
+
+The paper's Tables I–V and Figure 3 were measured on physical machines this
+environment does not have (HECToR, ECDF, EC2, Ness, a quad-core desktop).
+This package substitutes a calibrated simulator: machine + collective
+models fitted to the paper's own published numbers
+(:mod:`repro.cluster.calibrate`) drive a bulk-synchronous event simulation
+of the real pmaxT orchestration (:mod:`repro.cluster.simulator`), which the
+benchmark harness uses to regenerate every table row.
+"""
+
+from .advisor import (
+    PlatformAdvice,
+    compare_platforms,
+    parallel_efficiency,
+    predict,
+    recommend_procs,
+    required_procs,
+)
+from .calibrate import SERIAL_R_MODEL, SerialRModel, fit_collectives, fit_machine
+from .machine import MachineSpec
+from .network import CollectiveModel
+from .platforms import PLATFORM_NAMES, PlatformModel, all_platforms, get_platform
+from .simulator import (
+    RankTrace,
+    render_timeline,
+    SectionSpan,
+    SimulatedRun,
+    serial_r_estimate,
+    simulate_pmaxt,
+    simulate_scaling,
+)
+
+__all__ = [
+    "MachineSpec",
+    "CollectiveModel",
+    "PlatformModel",
+    "PLATFORM_NAMES",
+    "get_platform",
+    "all_platforms",
+    "fit_machine",
+    "fit_collectives",
+    "SerialRModel",
+    "SERIAL_R_MODEL",
+    "SimulatedRun",
+    "RankTrace",
+    "SectionSpan",
+    "simulate_pmaxt",
+    "simulate_scaling",
+    "serial_r_estimate",
+    "render_timeline",
+    "predict",
+    "parallel_efficiency",
+    "required_procs",
+    "recommend_procs",
+    "PlatformAdvice",
+    "compare_platforms",
+]

@@ -1,0 +1,140 @@
+"""Capacity planning on top of the platform models.
+
+The paper's conclusion is an advice story: *"life scientists can exercise
+and refine their workflows on lower end, less expensive platforms before
+executing more ambitious and potentially costly runs on high-end
+facilities"*.  This module turns the calibrated models into that advice:
+
+* :func:`predict` — time-to-solution for a workload on a platform/P;
+* :func:`required_procs` — the smallest process count meeting a deadline;
+* :func:`recommend_procs` — the largest process count that still clears a
+  parallel-efficiency floor (where adding cores stops paying);
+* :func:`compare_platforms` — rank every platform for a workload.
+
+All of it is deterministic arithmetic over
+:func:`~repro.cluster.simulator.simulate_pmaxt`, so the advice inherits
+the model's calibration and its documented residuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClusterModelError
+from .platforms import PLATFORM_NAMES, PlatformModel, get_platform
+from .simulator import SimulatedRun, simulate_pmaxt
+
+__all__ = [
+    "predict",
+    "parallel_efficiency",
+    "required_procs",
+    "recommend_procs",
+    "PlatformAdvice",
+    "compare_platforms",
+]
+
+
+def _powers_of_two(limit: int) -> list[int]:
+    out = [1]
+    while out[-1] * 2 <= limit:
+        out.append(out[-1] * 2)
+    return out
+
+
+def predict(platform: PlatformModel, nprocs: int, *, rows: int,
+            permutations: int) -> SimulatedRun:
+    """Time-to-solution prediction (a thin alias with workload-first args)."""
+    return simulate_pmaxt(platform, nprocs, rows=rows,
+                          permutations=permutations)
+
+
+def parallel_efficiency(run: SimulatedRun, baseline: SimulatedRun) -> float:
+    """Total-time speed-up divided by the process count."""
+    return run.speedup_vs(baseline) / run.nprocs
+
+
+def required_procs(platform: PlatformModel, *, rows: int, permutations: int,
+                   deadline_seconds: float) -> int | None:
+    """Smallest power-of-two process count meeting the deadline, or None.
+
+    ``None`` means the platform cannot meet the deadline at any supported
+    process count — the signal to move up the infrastructure ladder.
+    """
+    if deadline_seconds <= 0:
+        raise ClusterModelError(
+            f"deadline must be positive, got {deadline_seconds}"
+        )
+    for procs in _powers_of_two(platform.max_procs):
+        run = predict(platform, procs, rows=rows, permutations=permutations)
+        if run.total <= deadline_seconds:
+            return procs
+    return None
+
+
+def recommend_procs(platform: PlatformModel, *, rows: int, permutations: int,
+                    min_efficiency: float = 0.5) -> SimulatedRun:
+    """Largest power-of-two process count above the efficiency floor.
+
+    Returns the simulated run at the recommended count; at least the
+    single-process run is always returned.
+    """
+    if not 0 < min_efficiency <= 1:
+        raise ClusterModelError(
+            f"min_efficiency must be in (0, 1], got {min_efficiency}"
+        )
+    baseline = predict(platform, 1, rows=rows, permutations=permutations)
+    best = baseline
+    for procs in _powers_of_two(platform.max_procs)[1:]:
+        run = predict(platform, procs, rows=rows, permutations=permutations)
+        if parallel_efficiency(run, baseline) >= min_efficiency:
+            best = run
+        else:
+            break
+    return best
+
+
+@dataclass(frozen=True)
+class PlatformAdvice:
+    """One platform's entry in a cross-platform comparison."""
+
+    platform: str
+    description: str
+    #: Best (fastest) supported run for the workload.
+    best_run: SimulatedRun
+    #: Run at the efficiency-recommended process count.
+    recommended_run: SimulatedRun
+    #: Smallest P meeting the deadline (None = cannot).
+    procs_for_deadline: int | None
+
+    @property
+    def best_seconds(self) -> float:
+        return self.best_run.total
+
+    def meets_deadline(self) -> bool:
+        return self.procs_for_deadline is not None
+
+
+def compare_platforms(*, rows: int, permutations: int,
+                      deadline_seconds: float,
+                      min_efficiency: float = 0.5,
+                      platform_names: tuple[str, ...] = PLATFORM_NAMES,
+                      ) -> list[PlatformAdvice]:
+    """Rank platforms for a workload, fastest-best-run first."""
+    advice = []
+    for name in platform_names:
+        platform = get_platform(name)
+        best = predict(platform, platform.max_procs, rows=rows,
+                       permutations=permutations)
+        advice.append(PlatformAdvice(
+            platform=name,
+            description=platform.description,
+            best_run=best,
+            recommended_run=recommend_procs(
+                platform, rows=rows, permutations=permutations,
+                min_efficiency=min_efficiency),
+            procs_for_deadline=required_procs(
+                platform, rows=rows, permutations=permutations,
+                deadline_seconds=deadline_seconds),
+        ))
+    advice.sort(key=lambda a: a.best_seconds)
+    return advice

@@ -1,0 +1,177 @@
+"""Model calibration from the paper's published measurements.
+
+The five platform models are not hand-tuned: every coefficient is derived
+from the corresponding paper table by a small, documented fit.  This keeps
+the simulator honest — it is a *parametric reduction* of the published data
+(a handful of physical coefficients per platform), not a lookup table, so
+regenerating the tables produces genuine residuals which
+``EXPERIMENTS.md`` reports.
+
+Fits, per platform table:
+
+* ``perm_cost``   — exactly ``kernel(P=1) / B`` (one anchor, no freedom).
+* ``contention``  — for each measured ``P``, the ratio of the measured
+  kernel time to the perfectly-divided prediction
+  ``max_chunk(P) * perm_cost``; ratios are averaged per memory-domain
+  occupancy (the placement-invariant variable), giving <= 4 factors.
+* ``bcast``/``create``/``pvalues`` — least-squares fits of the tree-stage
+  models in :mod:`repro.cluster.network`, coefficients clamped to be
+  physical (non-negative).
+
+The serial-R reference model (Table VI's right-hand column) is an affine
+per-permutation cost ``a + b * rows`` solved exactly from the paper's two
+dataset sizes; see :data:`SERIAL_R_MODEL`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bench.paper import BENCH_B, BENCH_GENES, PaperTable
+from ..core.partition import partition_permutations
+from ..errors import ClusterModelError
+from .machine import MachineSpec
+from .network import CollectiveModel
+
+__all__ = [
+    "fit_machine",
+    "fit_collectives",
+    "SerialRModel",
+    "SERIAL_R_MODEL",
+]
+
+
+def _log2(x: int) -> float:
+    return math.log2(x) if x > 1 else 0.0
+
+
+def fit_machine(table: PaperTable, cores_per_domain: int, max_procs: int,
+                *, B: int = BENCH_B, rows: int = BENCH_GENES) -> MachineSpec:
+    """Derive a :class:`MachineSpec` from one paper profile table."""
+    base_row = table.row_for(1)
+    perm_cost = base_row.main_kernel / B
+    if perm_cost <= 0:
+        raise ClusterModelError(f"{table.table_id}: non-positive kernel(1)")
+
+    # Contention = measured kernel / ideal kernel, grouped by occupancy.
+    by_occupancy: dict[int, list[float]] = {}
+    for row in table.rows:
+        if row.procs == 1:
+            continue
+        plan = partition_permutations(B, row.procs)
+        ideal = plan.max_count * perm_cost
+        factor = max(row.main_kernel / ideal, 1.0)
+        occ = min(row.procs, cores_per_domain)
+        by_occupancy.setdefault(occ, []).append(factor)
+    contention = {occ: float(np.mean(vals)) for occ, vals in by_occupancy.items()}
+
+    pre_cost = float(np.mean([row.pre_processing for row in table.rows]))
+    return MachineSpec(
+        name=table.platform,
+        cores_per_domain=cores_per_domain,
+        max_procs=max_procs,
+        perm_cost=perm_cost,
+        ref_rows=rows,
+        pre_cost=pre_cost,
+        contention=contention,
+    )
+
+
+def fit_collectives(table: PaperTable, cores_per_domain: int,
+                    *, rows: int = BENCH_GENES) -> CollectiveModel:
+    """Least-squares fit of the collective models to one paper table."""
+    procs = np.array([row.procs for row in table.rows], dtype=float)
+    occ = np.minimum(procs, cores_per_domain)
+    domains = np.ceil(procs / cores_per_domain)
+
+    # --- broadcast parameters: a0 + a_intra log2(occ) + a_inter log2(dom) ---
+    bc = np.array([row.broadcast_parameters for row in table.rows])
+    design = np.column_stack([
+        np.ones_like(procs),
+        np.log2(np.maximum(occ, 1.0)),
+        np.log2(np.maximum(domains, 1.0)),
+    ])
+    coeff, *_ = np.linalg.lstsq(design, bc, rcond=None)
+    a0, a_intra, a_inter = (max(float(c), 0.0) for c in coeff)
+
+    # --- create data: base from P=1, stage slope from the rest -------------
+    create = np.array([row.create_data for row in table.rows])
+    create_base = float(table.row_for(1).create_data)
+    stages = np.array([_log2(int(p)) for p in procs])
+    mask = stages > 0
+    if mask.any():
+        create_stage = float(
+            np.clip(np.sum((create[mask] - create_base) * stages[mask])
+                    / np.sum(stages[mask] ** 2), 0.0, None)
+        )
+    else:  # pragma: no cover - every table has multi-process rows
+        create_stage = 0.0
+
+    # --- compute p-values: floor once P>1 plus inter-domain slope ----------
+    multi = [row for row in table.rows if row.procs > 1]
+    y = np.array([row.compute_pvalues for row in multi])
+    x = np.array([_log2(math.ceil(row.procs / cores_per_domain))
+                  for row in multi])
+    if np.ptp(x) > 0:
+        slope = float(np.cov(x, y, bias=True)[0, 1] / np.var(x))
+        slope = max(slope, 0.0)
+    else:
+        slope = 0.0
+    floor = float(np.clip(np.mean(y - slope * x), 0.0, None))
+
+    return CollectiveModel(
+        bcast_base=a0,
+        bcast_intra=a_intra,
+        bcast_inter=a_inter,
+        create_base=create_base,
+        create_stage=create_stage,
+        pvalues_base=floor,
+        pvalues_inter=slope,
+        ref_rows=rows,
+    )
+
+
+@dataclass(frozen=True)
+class SerialRModel:
+    """Per-permutation cost of the original serial R implementation.
+
+    Table VI's "serial run time (approximation)" column extrapolates the R
+    implementation linearly in the permutation count.  Solving the affine
+    per-permutation model ``t = a + b * rows`` exactly on the paper's two
+    dataset sizes::
+
+        a + b * 36 612 = 20 750 s / 500 000 = 41.5 ms
+        a + b * 73 224 = 35 000 s / 500 000 = 70.0 ms
+
+    gives ``b = 0.7784 µs/row`` and ``a = 13.0 ms`` — i.e. the R layer adds
+    a fixed ~13 ms per permutation on top of a per-row cost roughly 10% of
+    the C kernel's.  (The three 1M/2M rows are exact doublings and fit with
+    zero residual by construction.)
+    """
+
+    per_permutation: float  # a, seconds
+    per_row: float          # b, seconds per row
+
+    def seconds(self, permutations: int, rows: int) -> float:
+        """Estimated serial R wall-clock for the workload."""
+        if permutations < 0 or rows <= 0:
+            raise ClusterModelError(
+                f"invalid workload: perms={permutations}, rows={rows}"
+            )
+        return permutations * (self.per_permutation + self.per_row * rows)
+
+
+def _fit_serial_r() -> SerialRModel:
+    # Exact 2x2 solve on Table VI's 500k-permutation rows (see docstring).
+    t36 = 20_750.0 / 500_000
+    t73 = 35_000.0 / 500_000
+    b = (t73 - t36) / (73_224 - 36_612)
+    a = t36 - b * 36_612
+    return SerialRModel(per_permutation=a, per_row=b)
+
+
+#: Calibrated serial-R cost model (Table VI's comparison baseline).
+SERIAL_R_MODEL: SerialRModel = _fit_serial_r()

@@ -1,0 +1,115 @@
+"""Machine model: compute rate and shared-memory contention.
+
+Each benchmark platform is described by
+
+* a **per-permutation kernel cost** at the reference dataset (derived from
+  the paper's own single-process kernel time: ``kernel(P=1) / B``), which
+  scales linearly in the number of rows ``m`` — the kernel is one pass over
+  the matrix per permutation;
+* a **contention profile**: the multiplicative kernel slowdown as a
+  function of how many processes share one memory domain (socket, node,
+  instance or SMP box).  This is what produces the paper's observed
+  drop-offs — ECDF at 4→8 processes and EC2 at 2→4, attributed in Section
+  4.4 to memory-bus bandwidth — and it is calibrated from the same tables.
+
+Process placement follows the benchmarks' packed layout: ranks fill a
+domain before spilling to the next, so the occupancy that matters is
+``min(P, cores_per_domain)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ClusterModelError
+
+__all__ = ["MachineSpec"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Compute-side description of one platform."""
+
+    name: str
+    #: Cores sharing one memory/contention domain (socket/node/instance/box).
+    cores_per_domain: int
+    #: Largest process count the platform supports (paper benchmark range).
+    max_procs: int
+    #: Seconds per permutation for the reference dataset, single process.
+    perm_cost: float
+    #: Rows of the reference dataset the costs were calibrated at.
+    ref_rows: int
+    #: Master-side pre-processing cost at the reference dataset (s).
+    pre_cost: float
+    #: Occupancy -> kernel slowdown factor (1 core -> 1.0 by definition).
+    contention: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.cores_per_domain < 1:
+            raise ClusterModelError(
+                f"{self.name}: cores_per_domain must be >= 1"
+            )
+        if self.perm_cost <= 0:
+            raise ClusterModelError(f"{self.name}: perm_cost must be positive")
+        if self.ref_rows <= 0:
+            raise ClusterModelError(f"{self.name}: ref_rows must be positive")
+        for occ, factor in self.contention.items():
+            if occ < 1 or factor < 1.0 - 1e-9:
+                raise ClusterModelError(
+                    f"{self.name}: contention[{occ}]={factor} invalid "
+                    "(occupancy >= 1, factor >= 1)"
+                )
+
+    # -- derived quantities ------------------------------------------------------
+
+    def occupancy(self, nprocs: int) -> int:
+        """Processes sharing the fullest memory domain under packed placement."""
+        return min(nprocs, self.cores_per_domain)
+
+    def n_domains(self, nprocs: int) -> int:
+        """Domains (nodes/instances) in use under packed placement."""
+        return math.ceil(nprocs / self.cores_per_domain)
+
+    def contention_factor(self, nprocs: int) -> float:
+        """Kernel slowdown at ``nprocs`` packed processes.
+
+        Looks up the calibrated factor for the resulting occupancy;
+        intermediate occupancies interpolate geometrically in log-occupancy
+        (bus saturation grows smoothly between the measured points) and
+        occupancies beyond the largest calibrated point reuse its factor.
+        """
+        occ = self.occupancy(nprocs)
+        if occ <= 1:
+            return 1.0
+        table = dict(self.contention)
+        table.setdefault(1, 1.0)
+        known = sorted(table)
+        if occ in table:
+            return table[occ]
+        lower = max(k for k in known if k < occ)
+        uppers = [k for k in known if k > occ]
+        if not uppers:
+            return table[known[-1]]
+        upper = min(uppers)
+        # Geometric interpolation on log(occupancy).
+        w = (math.log(occ) - math.log(lower)) / (math.log(upper) - math.log(lower))
+        return table[lower] ** (1 - w) * table[upper] ** w
+
+    def kernel_seconds(self, permutations: int, rows: int, nprocs: int) -> float:
+        """Kernel time for one rank executing ``permutations`` permutations.
+
+        Per-permutation cost scales with the row count (the kernel is one
+        matrix pass per permutation) and with the contention factor of the
+        packed placement.
+        """
+        if permutations < 0 or rows <= 0:
+            raise ClusterModelError(
+                f"invalid kernel workload: perms={permutations}, rows={rows}"
+            )
+        scale = rows / self.ref_rows
+        return permutations * self.perm_cost * scale * self.contention_factor(nprocs)
+
+    def pre_seconds(self, rows: int) -> float:
+        """Master pre-processing time, scaled by row count."""
+        return self.pre_cost * rows / self.ref_rows

@@ -1,0 +1,100 @@
+"""Collective-communication cost models.
+
+The paper's two communication-bound sections are *Broadcast parameters*
+(Step 2) and *Compute p-values* (Step 5's gather/reduction plus the
+stragglers' synchronisation), and Section 4.4 reads their scaling as a
+proxy for interconnect quality: linear-in-``log2 P`` growth on HECToR's
+SeaStar2 and ECDF's GigE, dramatic growth on EC2's virtual ethernet,
+near-zero on the shared-memory machines.
+
+The models here are tree-collective shaped with separate intra-domain and
+inter-domain stage costs::
+
+    bcast(P)   = a0 + a_intra * log2(min(P, cpd)) + a_inter * log2(domains)
+    pvalues(P) = [P > 1] * b0 + b_inter * log2(domains)
+
+where ``cpd`` is the platform's cores-per-domain and ``domains`` the packed
+domain count.  The coefficients are least-squares fits to the paper's own
+columns (:mod:`repro.cluster.calibrate`); EC2's huge ``a_inter``/``b_inter``
+against HECToR's millisecond coefficients is exactly the contrast Section
+4.4 discusses.  ``pvalues`` bundles the gather with the straggler wait the
+master experiences before it, which is why its floor ``b0`` is non-zero on
+the busy shared clusters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ClusterModelError
+
+__all__ = ["CollectiveModel"]
+
+
+def _log2(x: int) -> float:
+    return math.log2(x) if x > 1 else 0.0
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Fitted coefficients of the two communication sections."""
+
+    #: Broadcast-parameters: constant term (s).
+    bcast_base: float
+    #: Broadcast-parameters: per intra-domain tree stage (s).
+    bcast_intra: float
+    #: Broadcast-parameters: per inter-domain tree stage (s).
+    bcast_inter: float
+    #: Create-data: constant local transform/allocation term (s) at the
+    #: reference dataset.
+    create_base: float
+    #: Create-data: per tree-stage term (s).
+    create_stage: float
+    #: Compute-p-values: floor once more than one rank participates (s).
+    pvalues_base: float
+    #: Compute-p-values: per inter-domain stage (s).
+    pvalues_inter: float
+    #: Rows of the reference dataset the fit was made at.
+    ref_rows: int
+
+    def __post_init__(self):
+        if self.ref_rows <= 0:
+            raise ClusterModelError("ref_rows must be positive")
+
+    def bcast_seconds(self, nprocs: int, cores_per_domain: int) -> float:
+        """Broadcast-parameters section time."""
+        if nprocs < 1:
+            raise ClusterModelError(f"nprocs must be >= 1, got {nprocs}")
+        if nprocs == 1:
+            return max(self.bcast_base, 0.0)
+        occ = min(nprocs, cores_per_domain)
+        domains = math.ceil(nprocs / cores_per_domain)
+        t = (self.bcast_base + self.bcast_intra * _log2(occ)
+             + self.bcast_inter * _log2(domains))
+        return max(t, 0.0)
+
+    def create_seconds(self, nprocs: int, rows: int) -> float:
+        """Create-data section time (local transform + distribution stages).
+
+        The local transform scales with the matrix size; the per-stage
+        distribution term follows the broadcast tree depth.
+        """
+        scale = rows / self.ref_rows
+        t = self.create_base * scale + self.create_stage * _log2(max(nprocs, 1))
+        return max(t, 0.0)
+
+    def pvalues_seconds(self, nprocs: int, cores_per_domain: int,
+                        rows: int) -> float:
+        """Compute-p-values section time (straggler wait + gather + assembly).
+
+        The inter-domain term carries the reduction's message cost and so
+        scales with the count-vector length (``rows``); the floor term is
+        scheduling noise, independent of the data.
+        """
+        if nprocs <= 1:
+            return 0.0
+        domains = math.ceil(nprocs / cores_per_domain)
+        t = (self.pvalues_base
+             + self.pvalues_inter * _log2(domains) * rows / self.ref_rows)
+        return max(t, 0.0)

@@ -1,0 +1,256 @@
+"""Discrete-event simulation of a pmaxT run on a modelled platform.
+
+The simulator executes the *actual* pmaxT orchestration — the same
+:func:`~repro.core.partition.partition_permutations` plan the real code
+uses, the same bulk-synchronous section sequence (Steps 1–5 of paper
+Section 3.2) — and prices each activity with the calibrated platform model.
+The result is a per-rank event timeline plus the master's five-section
+profile, i.e. one row of the paper's Tables I–V.
+
+Event semantics (bulk-synchronous, matching the MPI blocking collectives):
+
+* ``pre_processing``   — master-only, ``[0, t_pre)``; workers wait.
+* ``broadcast_parameters`` — collective, completes simultaneously.
+* ``create_data``      — local transform + distribution, completes together.
+* ``main_kernel``      — per-rank: ``chunk_count * perm_cost * contention``
+  (optionally jittered per rank).  Ranks finish at different times.
+* ``compute_pvalues``  — the master's section runs from its own kernel end
+  until the straggliest rank has arrived **plus** the fitted
+  gather/assembly cost — exactly the accounting that makes this section
+  look expensive on noisy networks (paper Section 4.4 on EC2).
+
+With ``jitter=0`` (default) the simulation is deterministic; a non-zero
+jitter draws per-rank multiplicative kernel noise from a seeded RNG to
+mimic the shared-machine variability the paper works around by reporting
+minima of five runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bench.paper import BENCH_B, BENCH_GENES, BENCH_SAMPLES
+from ..core.partition import PartitionPlan, partition_permutations
+from ..core.profile import SectionProfile
+from ..errors import ClusterModelError
+from .calibrate import SERIAL_R_MODEL
+from .platforms import PlatformModel
+
+__all__ = [
+    "SectionSpan",
+    "RankTrace",
+    "SimulatedRun",
+    "simulate_pmaxt",
+    "simulate_scaling",
+    "serial_r_estimate",
+    "render_timeline",
+]
+
+
+@dataclass(frozen=True)
+class SectionSpan:
+    """One timed activity on one rank's timeline."""
+
+    section: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class RankTrace:
+    """Event timeline of one simulated rank."""
+
+    rank: int
+    permutations: int
+    spans: tuple[SectionSpan, ...]
+
+    @property
+    def finish(self) -> float:
+        return self.spans[-1].end if self.spans else 0.0
+
+    def span(self, section: str) -> SectionSpan:
+        for s in self.spans:
+            if s.section == section:
+                return s
+        raise KeyError(f"rank {self.rank} has no span for {section!r}")
+
+
+@dataclass(frozen=True)
+class SimulatedRun:
+    """Outcome of one simulated pmaxT execution."""
+
+    platform: str
+    nprocs: int
+    rows: int
+    cols: int
+    permutations: int
+    #: Master's five-section profile — one row of a paper table.
+    profile: SectionProfile
+    plan: PartitionPlan
+    traces: tuple[RankTrace, ...]
+
+    @property
+    def total(self) -> float:
+        return self.profile.total()
+
+    @property
+    def kernel(self) -> float:
+        return self.profile.main_kernel
+
+    def speedup_vs(self, baseline: "SimulatedRun") -> float:
+        return baseline.total / self.total
+
+    def kernel_speedup_vs(self, baseline: "SimulatedRun") -> float:
+        return baseline.kernel / self.kernel
+
+
+def simulate_pmaxt(
+    platform: PlatformModel,
+    nprocs: int,
+    *,
+    rows: int = BENCH_GENES,
+    cols: int = BENCH_SAMPLES,
+    permutations: int = BENCH_B,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> SimulatedRun:
+    """Simulate one pmaxT run and return its timeline and profile."""
+    platform.validate_procs(nprocs)
+    if permutations < 1:
+        raise ClusterModelError(f"permutations must be >= 1, got {permutations}")
+    if not 0.0 <= jitter < 1.0:
+        raise ClusterModelError(f"jitter must be in [0, 1), got {jitter}")
+    machine = platform.machine
+    net = platform.collectives
+
+    plan = partition_permutations(permutations, nprocs)
+    rng = np.random.default_rng(seed)
+    noise = 1.0 + jitter * rng.random(nprocs) if jitter > 0 else np.ones(nprocs)
+
+    # Collective section completion points (identical on every rank).
+    t_pre = machine.pre_seconds(rows)
+    t_bcast = net.bcast_seconds(nprocs, machine.cores_per_domain)
+    t_create = net.create_seconds(nprocs, rows)
+    sync0 = t_pre + t_bcast
+    sync1 = sync0 + t_create
+
+    kernel_times = np.array([
+        machine.kernel_seconds(plan.chunk_for(r).count, rows, nprocs) * noise[r]
+        for r in range(nprocs)
+    ])
+    kernel_ends = sync1 + kernel_times
+    all_arrived = float(kernel_ends.max())
+    t_pvalues = net.pvalues_seconds(nprocs, machine.cores_per_domain, rows)
+    finish = all_arrived + t_pvalues
+
+    traces = []
+    for r in range(nprocs):
+        spans = []
+        if r == 0:
+            spans.append(SectionSpan("pre_processing", 0.0, t_pre))
+            spans.append(SectionSpan("broadcast_parameters", t_pre, sync0))
+        else:
+            # Workers sit in the broadcast from t=0 until the master arrives.
+            spans.append(SectionSpan("broadcast_parameters", 0.0, sync0))
+        spans.append(SectionSpan("create_data", sync0, sync1))
+        spans.append(SectionSpan("main_kernel", sync1, float(kernel_ends[r])))
+        spans.append(SectionSpan("compute_pvalues", float(kernel_ends[r]), finish))
+        traces.append(RankTrace(rank=r, permutations=plan.chunk_for(r).count,
+                                spans=tuple(spans)))
+
+    master_kernel = float(kernel_times[0])
+    profile = SectionProfile(
+        pre_processing=t_pre,
+        broadcast_parameters=t_bcast,
+        create_data=t_create,
+        main_kernel=master_kernel,
+        # The master's measured section includes waiting for stragglers.
+        compute_pvalues=(all_arrived - float(kernel_ends[0])) + t_pvalues,
+    )
+    return SimulatedRun(
+        platform=platform.name,
+        nprocs=nprocs,
+        rows=rows,
+        cols=cols,
+        permutations=permutations,
+        profile=profile,
+        plan=plan,
+        traces=tuple(traces),
+    )
+
+
+def simulate_scaling(
+    platform: PlatformModel,
+    proc_counts: tuple[int, ...] | None = None,
+    *,
+    rows: int = BENCH_GENES,
+    cols: int = BENCH_SAMPLES,
+    permutations: int = BENCH_B,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> list[SimulatedRun]:
+    """Simulate a scaling sweep (default: the paper's measured counts)."""
+    if proc_counts is None:
+        proc_counts = platform.paper_table.proc_counts
+    return [
+        simulate_pmaxt(platform, p, rows=rows, cols=cols,
+                       permutations=permutations, jitter=jitter, seed=seed + p)
+        for p in proc_counts
+    ]
+
+
+def serial_r_estimate(permutations: int, rows: int) -> float:
+    """Estimated serial R run time for a workload (Table VI baseline)."""
+    return SERIAL_R_MODEL.seconds(permutations, rows)
+
+
+_TIMELINE_GLYPHS = {
+    "pre_processing": "P",
+    "broadcast_parameters": "B",
+    "create_data": "C",
+    "main_kernel": "#",
+    "compute_pvalues": "g",
+}
+
+
+def render_timeline(run: SimulatedRun, width: int = 72,
+                    max_ranks: int = 16) -> str:
+    """ASCII Gantt chart of a simulated run's per-rank timelines.
+
+    One row per rank (first ``max_ranks`` shown), time left-to-right scaled
+    to ``width`` characters: ``P`` pre-processing, ``B`` broadcast, ``C``
+    create-data, ``#`` kernel, ``g`` gather/p-values.  Makes the
+    bulk-synchronous structure — and the straggler wait inside the
+    compute-p-values section — directly visible.
+    """
+    finish = max(t.finish for t in run.traces)
+    if finish <= 0:
+        raise ClusterModelError("run has an empty timeline")
+    lines = [
+        f"timeline: {run.platform}, P={run.nprocs}, "
+        f"B={run.permutations:,}, {run.rows:,} rows "
+        f"(total {run.total:.3f} s)",
+    ]
+    shown = run.traces[:max_ranks]
+    for trace in shown:
+        row = [" "] * width
+        for span in trace.spans:
+            a = int(span.start / finish * (width - 1))
+            b = max(int(span.end / finish * (width - 1)), a)
+            glyph = _TIMELINE_GLYPHS.get(span.section, "?")
+            for x in range(a, b + 1):
+                row[x] = glyph
+        lines.append(f"  rank {trace.rank:>3} |{''.join(row)}|")
+    if len(run.traces) > max_ranks:
+        lines.append(f"  … {len(run.traces) - max_ranks} more ranks")
+    lines.append(
+        "  legend: P pre-process  B bcast params  C create data  "
+        "# kernel  g gather/p-values"
+    )
+    return "\n".join(lines)

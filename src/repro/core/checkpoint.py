@@ -1,0 +1,221 @@
+"""Kernel checkpointing and restart (paper future-work item 1).
+
+    "Better support for fault tolerance and checkpointing; whereas this is
+    not available in the existing serial R implementation, this may be of
+    increasing importance as life scientists wish to perform even more
+    tests on ever larger datasets." — paper Section 6.
+
+The maxT kernel state is tiny and additive — two integer count vectors plus
+the number of permutations consumed — so checkpointing is cheap: after every
+``interval`` permutations a rank atomically rewrites one small ``.npz`` file.
+On restart, :func:`run_kernel_resumable` validates the checkpoint against a
+**fingerprint** of the problem (data digest, options, chunk assignment) and
+continues from the recorded position; a mismatched fingerprint is refused
+rather than silently blended into a different problem's counts.
+
+Because permutation index ``k`` is reproducible in isolation (fixed-seed and
+complete generators are random access; stream generators re-forward), a
+resumed run produces **bit-identical** results to an uninterrupted one —
+the same guarantee the parallel decomposition itself relies on.
+
+The per-rank file layout (``rank<r>.npz`` inside a run directory) extends
+naturally to the MPI setting: each rank checkpoints independently, and a
+restarted job of the same world size resumes every chunk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DataError
+from ..permute.base import PermutationGenerator
+from ..stats.base import TestStatistic
+from .kernel import DEFAULT_CHUNK, KernelCounts, ObservedScores, run_kernel
+from .options import MaxTOptions
+
+__all__ = [
+    "problem_fingerprint",
+    "CheckpointStore",
+    "run_kernel_resumable",
+]
+
+
+def problem_fingerprint(X: np.ndarray, classlabel: np.ndarray,
+                        options: MaxTOptions, start: int, count: int) -> str:
+    """Digest identifying one rank's kernel problem exactly.
+
+    Covers the data bytes, the labels, every option that affects the
+    permutation sequence or the statistics, and the chunk assignment.  Any
+    difference — even a changed seed or chunk boundary — yields a different
+    fingerprint, so stale checkpoints can never be resumed into the wrong
+    computation.
+    """
+    h = hashlib.sha256()
+    data = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+    labels = np.ascontiguousarray(np.asarray(classlabel, dtype=np.int64))
+    h.update(data.tobytes())
+    h.update(labels.tobytes())
+    payload = (
+        options.test, options.side, options.fixed_seed_sampling, options.B,
+        options.na, options.nonpara, options.seed, options.nperm,
+        options.complete, options.store, int(start), int(count),
+    )
+    h.update(repr(payload).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class _CheckpointState:
+    """What a checkpoint file holds."""
+
+    fingerprint: str
+    position: int          # permutations of the chunk already consumed
+    counts: KernelCounts
+
+
+class CheckpointStore:
+    """Atomic on-disk storage of one rank's kernel progress."""
+
+    def __init__(self, directory: str | Path, rank: int = 0):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.rank = int(rank)
+        self.path = self.directory / f"rank{self.rank}.npz"
+        self.saves = 0
+
+    def save(self, fingerprint: str, position: int,
+             counts: KernelCounts) -> None:
+        """Atomically persist progress (write-to-temp + rename)."""
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(
+                    fh,
+                    fingerprint=np.frombuffer(
+                        fingerprint.encode(), dtype=np.uint8),
+                    position=np.int64(position),
+                    raw=counts.raw,
+                    adjusted=counts.adjusted,
+                    nperm=np.int64(counts.nperm),
+                )
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.saves += 1
+
+    def load(self, fingerprint: str) -> _CheckpointState | None:
+        """Load progress if a checkpoint for this exact problem exists.
+
+        Returns ``None`` when no checkpoint is present.  A checkpoint for a
+        *different* fingerprint raises :class:`DataError` — resuming it
+        would corrupt the counts.
+        """
+        if not self.path.exists():
+            return None
+        with np.load(self.path) as data:
+            stored = bytes(data["fingerprint"]).decode()
+            if stored != fingerprint:
+                raise DataError(
+                    f"checkpoint {self.path} belongs to a different problem "
+                    f"(fingerprint {stored[:12]}… != {fingerprint[:12]}…); "
+                    "delete it or use a fresh checkpoint directory"
+                )
+            counts = KernelCounts(
+                raw=data["raw"].copy(),
+                adjusted=data["adjusted"].copy(),
+                nperm=int(data["nperm"]),
+            )
+            return _CheckpointState(
+                fingerprint=stored,
+                position=int(data["position"]),
+                counts=counts,
+            )
+
+    def clear(self) -> None:
+        """Remove the checkpoint (call after a successful run)."""
+        if self.path.exists():
+            self.path.unlink()
+
+
+def run_kernel_resumable(
+    stat: TestStatistic,
+    generator: PermutationGenerator,
+    observed: ObservedScores,
+    side: str,
+    start: int,
+    count: int,
+    *,
+    store: CheckpointStore,
+    fingerprint: str,
+    interval: int = 2_048,
+    chunk_size: int = DEFAULT_CHUNK,
+    first_is_observed: bool | None = None,
+    fail_after: int | None = None,
+) -> KernelCounts:
+    """Run the kernel over ``[start, start + count)`` with checkpointing.
+
+    Resumes from ``store`` when a matching checkpoint exists, saves every
+    ``interval`` permutations, and leaves the final checkpoint in place
+    (callers decide when to ``clear`` it).
+
+    Parameters
+    ----------
+    fail_after:
+        Testing hook: raise ``RuntimeError`` after this many permutations
+        have been processed *in this invocation*, simulating the mid-run
+        crash the checkpointing exists to survive.
+
+    Returns
+    -------
+    KernelCounts
+        Counts over the full chunk, identical to an uninterrupted
+        :func:`~repro.core.kernel.run_kernel`.
+    """
+    if interval <= 0:
+        raise DataError(f"checkpoint interval must be positive, got {interval}")
+    if first_is_observed is None:
+        first_is_observed = start == 0
+
+    state = store.load(fingerprint)
+    if state is not None:
+        done = state.position
+        counts = state.counts
+    else:
+        done = 0
+        counts = KernelCounts.zeros(observed.m)
+
+    processed_now = 0
+    while done < count:
+        step = min(interval, count - done)
+        if fail_after is not None and processed_now + step > fail_after:
+            step = fail_after - processed_now
+            if step > 0:
+                piece = run_kernel(
+                    stat, generator, observed, side,
+                    start=start + done, count=step, chunk_size=chunk_size,
+                    first_is_observed=first_is_observed and done == 0,
+                )
+                counts += piece
+                done += step
+                store.save(fingerprint, done, counts)
+            raise RuntimeError(
+                f"injected failure after {fail_after} permutations"
+            )
+        piece = run_kernel(
+            stat, generator, observed, side,
+            start=start + done, count=step, chunk_size=chunk_size,
+            first_is_observed=first_is_observed and done == 0,
+        )
+        counts += piece
+        done += step
+        processed_now += step
+        store.save(fingerprint, done, counts)
+    return counts

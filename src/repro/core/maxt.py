@@ -1,0 +1,124 @@
+"""``mt_maxT`` — the serial reference implementation.
+
+A faithful Python port of the multtest package's ``mt.maxT``: step-down
+Westfall–Young maxT adjusted p-values over all six statistics, both
+permutation generators and both storage modes (paper Section 3.1).  The
+signature mirrors the R function::
+
+    mt.maxT(X, classlabel, test="t", side="abs", fixed.seed.sampling="y",
+            B=10000, na=.mt.naNUM, nonpara="n")
+
+The serial driver shares every compute component — statistics, generators,
+kernel, p-value assembly — with the parallel :func:`~repro.core.pmaxt.pmaxT`,
+which is how the reproduction guarantees the paper's headline correctness
+property: the parallel results are identical to the serial ones.
+"""
+
+from __future__ import annotations
+
+
+from ..permute import DEFAULT_COMPLETE_LIMIT, DEFAULT_SEED
+from ..stats import MT_NA_NUM
+from .adjust import pvalues_from_counts
+from .kernel import DEFAULT_CHUNK, compute_observed, run_kernel
+from .options import build_generator, build_statistic, validate_options
+from .result import MaxTResult
+
+__all__ = ["mt_maxT"]
+
+
+def mt_maxT(
+    X,
+    classlabel,
+    test: str = "t",
+    side: str = "abs",
+    fixed_seed_sampling: str = "y",
+    B: int = 10_000,
+    na: float = MT_NA_NUM,
+    nonpara: str = "n",
+    *,
+    seed: int = DEFAULT_SEED,
+    chunk_size: int = DEFAULT_CHUNK,
+    complete_limit: int = DEFAULT_COMPLETE_LIMIT,
+    row_names: list[str] | None = None,
+) -> MaxTResult:
+    """Serial Westfall–Young maxT permutation test.
+
+    Parameters
+    ----------
+    X:
+        ``m x n`` data matrix; rows are hypotheses (genes), columns samples.
+    classlabel:
+        Length-``n`` integer class labels (design depends on ``test``).
+    test:
+        Statistic: ``"t"`` (Welch, default), ``"t.equalvar"``,
+        ``"wilcoxon"``, ``"f"``, ``"pairt"`` or ``"blockf"``.
+    side:
+        Rejection region: ``"abs"`` (default), ``"upper"`` or ``"lower"``.
+    fixed_seed_sampling:
+        ``"y"`` regenerates permutations on the fly from a fixed seed;
+        ``"n"`` stores the sampled permutations in memory first.
+    B:
+        Permutation count; ``0`` requests complete enumeration.
+    na:
+        Numeric missing-value code (NaN always counts as missing).
+    nonpara:
+        ``"y"`` rank-transforms each row before computing statistics.
+    seed:
+        RNG seed for the random generators.
+    chunk_size:
+        Permutations per vectorized batch (performance only).
+    complete_limit:
+        Ceiling on complete enumeration size.
+    row_names:
+        Optional labels carried into the result table.
+
+    Returns
+    -------
+    MaxTResult
+        Observed statistics, raw p-values and step-down maxT adjusted
+        p-values (original row order), plus the significance ordering.
+    """
+    options = validate_options(
+        classlabel,
+        test=test,
+        side=side,
+        fixed_seed_sampling=fixed_seed_sampling,
+        B=B,
+        na=na,
+        nonpara=nonpara,
+        seed=seed,
+        chunk_size=chunk_size,
+        complete_limit=complete_limit,
+    )
+    stat = build_statistic(options, X, classlabel)
+    generator = build_generator(options, classlabel)
+    observed = compute_observed(stat, options.side)
+    counts = run_kernel(
+        stat,
+        generator,
+        observed,
+        options.side,
+        start=0,
+        count=options.nperm,
+        chunk_size=options.chunk_size,
+    )
+    rawp, adjp = pvalues_from_counts(
+        counts.raw,
+        counts.adjusted,
+        observed.order,
+        options.nperm,
+        untestable=observed.untestable,
+    )
+    return MaxTResult(
+        teststat=observed.stats,
+        rawp=rawp,
+        adjp=adjp,
+        order=observed.order,
+        nperm=options.nperm,
+        test=options.test,
+        side=options.side,
+        complete=options.complete,
+        nranks=1,
+        row_names=row_names,
+    )

@@ -1,0 +1,251 @@
+"""``pmaxT`` — the parallel permutation testing function.
+
+Implements the six steps of the paper's Section 3.2 on top of the
+:mod:`repro.mpi` communicator abstraction:
+
+* **Step 1** — the master validates the input parameters and normalises
+  them (``pre processing``).
+* **Step 2** — the parameters are broadcast; scalar options travel as a
+  compact tuple, implementing the paper's future-work note 3 (strings
+  replaced by scalar codes before the broadcast)
+  (``broadcast parameters``).
+* **Step 3** — the input matrix and class labels are broadcast and
+  transformed to the layout the kernel expects, and a global sum confirms
+  every rank finished allocation (``create data``).
+* **Step 4** — every rank computes its permutation chunk from the shared
+  partition plan, forwards its generator, and runs the kernel
+  (``main kernel``).
+* **Step 5** — the master reduces the partial counts and computes the raw
+  and adjusted p-values (``compute p-values``).
+* **Step 6** — buffers are released (Python's GC makes this implicit).
+
+The five timed sections correspond one-to-one to the columns of the paper's
+Tables I–V; the timings are recorded in the result's
+:class:`~repro.core.profile.SectionProfile`.
+
+Every rank calls :func:`pmaxT` (SPMD style).  Worker ranks may pass
+``X=None``: they receive the data from the master's broadcast, mirroring the
+SPRINT architecture where only the master evaluates the user's R script.
+The master returns the :class:`~repro.core.result.MaxTResult`; workers
+return ``None``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from ..mpi import Communicator, SUM, SerialComm
+from ..permute import DEFAULT_COMPLETE_LIMIT, DEFAULT_SEED
+from ..stats import MT_NA_NUM
+from .adjust import pvalues_from_counts
+from .kernel import DEFAULT_CHUNK, compute_observed, run_kernel
+from .options import MaxTOptions, build_generator, build_statistic, validate_options
+from .partition import partition_permutations
+from .profile import SectionTimer
+from .result import MaxTResult
+
+__all__ = ["pmaxT"]
+
+# Scalar encodings for the string options (paper future-work note 3: string
+# parameters replaced by integers before the broadcast).
+_TEST_CODES = {"t": 0, "t.equalvar": 1, "wilcoxon": 2, "f": 3, "pairt": 4,
+               "blockf": 5}
+_TEST_NAMES = {v: k for k, v in _TEST_CODES.items()}
+_SIDE_CODES = {"abs": 0, "upper": 1, "lower": 2}
+_SIDE_NAMES = {v: k for k, v in _SIDE_CODES.items()}
+
+
+def _pack_options(o: MaxTOptions) -> tuple:
+    """Encode the validated options as a flat scalar tuple for broadcast."""
+    return (
+        _TEST_CODES[o.test],
+        _SIDE_CODES[o.side],
+        1 if o.fixed_seed_sampling == "y" else 0,
+        o.B,
+        o.na,
+        1 if o.nonpara == "y" else 0,
+        o.seed,
+        o.chunk_size,
+        o.complete_limit,
+        o.nperm,
+        1 if o.complete else 0,
+        1 if o.store else 0,
+    )
+
+
+def _unpack_options(t: tuple) -> MaxTOptions:
+    """Inverse of :func:`_pack_options`."""
+    return MaxTOptions(
+        test=_TEST_NAMES[t[0]],
+        side=_SIDE_NAMES[t[1]],
+        fixed_seed_sampling="y" if t[2] else "n",
+        B=int(t[3]),
+        na=float(t[4]),
+        nonpara="y" if t[5] else "n",
+        seed=int(t[6]),
+        chunk_size=int(t[7]),
+        complete_limit=int(t[8]),
+        nperm=int(t[9]),
+        complete=bool(t[10]),
+        store=bool(t[11]),
+    )
+
+
+def pmaxT(
+    X=None,
+    classlabel=None,
+    test: str = "t",
+    side: str = "abs",
+    fixed_seed_sampling: str = "y",
+    B: int = 10_000,
+    na: float = MT_NA_NUM,
+    nonpara: str = "n",
+    *,
+    comm: Communicator | None = None,
+    seed: int = DEFAULT_SEED,
+    chunk_size: int = DEFAULT_CHUNK,
+    complete_limit: int = DEFAULT_COMPLETE_LIMIT,
+    row_names: list[str] | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: int = 2_048,
+) -> MaxTResult | None:
+    """Parallel Westfall–Young maxT permutation test (SPMD entry point).
+
+    The interface is identical to :func:`~repro.core.maxt.mt_maxT` — the
+    paper's headline usability claim — plus ``comm``, the MPI-substrate
+    communicator.  With ``comm=None`` (or a one-rank world) this runs the
+    serial algorithm, profiled into the same five sections.
+
+    On worker ranks ``X`` and ``classlabel`` may be ``None``; the data
+    arrives via the master's broadcast.  The result is returned on the
+    master; workers receive ``None``.
+
+    ``checkpoint_dir`` enables the fault-tolerance extension (paper
+    future-work item 1): each rank periodically persists its partial counts
+    and a re-run of the identical call resumes from the last checkpoint
+    instead of restarting its chunk — see :mod:`repro.core.checkpoint`.
+
+    The output is **identical to the serial output** for any rank count:
+    the permutation partition (Figure 2 of the paper) together with the
+    skippable generators reproduces the serial permutation sequence exactly.
+    """
+    if comm is None:
+        comm = SerialComm()
+    master = comm.is_master
+    timer = SectionTimer()
+
+    # -- Step 1: master-side pre-processing --------------------------------
+    packed = None
+    with timer.section("pre_processing"):
+        if master:
+            if X is None or classlabel is None:
+                raise DataError("the master rank must supply X and classlabel")
+            options = validate_options(
+                classlabel,
+                test=test,
+                side=side,
+                fixed_seed_sampling=fixed_seed_sampling,
+                B=B,
+                na=na,
+                nonpara=nonpara,
+                seed=seed,
+                chunk_size=chunk_size,
+                complete_limit=complete_limit,
+            )
+            packed = _pack_options(options)
+
+    # -- Step 2: broadcast scalar parameters --------------------------------
+    with timer.section("broadcast_parameters"):
+        packed = comm.bcast(packed, root=0)
+        options = _unpack_options(packed)
+
+    # -- Step 3: broadcast + transform the input data ------------------------
+    with timer.section("create_data"):
+        if master:
+            data = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+            labels = np.ascontiguousarray(np.asarray(classlabel,
+                                                     dtype=np.int64))
+            payload = (data, labels)
+        else:
+            payload = None
+        data, labels = comm.bcast(payload, root=0)
+        # Global sum synchronises all ranks and confirms allocation
+        # succeeded everywhere (the paper's Step 3 "global sum").
+        ready = comm.allreduce(1, op=SUM)
+        if ready != comm.size:  # pragma: no cover - defensive
+            raise DataError("not all ranks completed data creation")
+
+    # -- Step 4: local kernel over this rank's permutation chunk -------------
+    with timer.section("main_kernel"):
+        stat = build_statistic(options, data, labels)
+        observed = compute_observed(stat, options.side)
+        plan = partition_permutations(options.nperm, comm.size)
+        chunk = plan.chunk_for(comm.rank)
+        if options.store:
+            # Stored mode materialises only this rank's slice; the stored
+            # generator replays with local indices, already "forwarded".
+            generator = build_generator(
+                options, labels, store_slice=(chunk.start, chunk.count)
+            )
+            kernel_args = dict(start=0, count=chunk.count,
+                               first_is_observed=chunk.includes_observed)
+        else:
+            generator = build_generator(options, labels)
+            kernel_args = dict(start=chunk.start, count=chunk.count)
+        if checkpoint_dir is None:
+            counts = run_kernel(
+                stat, generator, observed, options.side,
+                chunk_size=options.chunk_size, **kernel_args,
+            )
+        else:
+            from .checkpoint import (
+                CheckpointStore,
+                problem_fingerprint,
+                run_kernel_resumable,
+            )
+
+            fingerprint = problem_fingerprint(
+                data, labels, options, chunk.start, chunk.count)
+            store = CheckpointStore(checkpoint_dir, rank=comm.rank)
+            counts = run_kernel_resumable(
+                stat, generator, observed, options.side,
+                store=store, fingerprint=fingerprint,
+                interval=checkpoint_interval,
+                chunk_size=options.chunk_size, **kernel_args,
+            )
+            store.clear()
+
+    # -- Step 5: gather counts, compute p-values -----------------------------
+    result: MaxTResult | None = None
+    with timer.section("compute_pvalues"):
+        total_raw = comm.reduce(counts.raw, op=SUM, root=0)
+        total_adj = comm.reduce(counts.adjusted, op=SUM, root=0)
+        total_nperm = comm.reduce(counts.nperm, op=SUM, root=0)
+        if master:
+            if total_nperm != options.nperm:  # pragma: no cover - defensive
+                raise DataError(
+                    f"permutation accounting error: executed {total_nperm}, "
+                    f"expected {options.nperm}"
+                )
+            rawp, adjp = pvalues_from_counts(
+                total_raw, total_adj, observed.order, options.nperm,
+                untestable=observed.untestable,
+            )
+            result = MaxTResult(
+                teststat=observed.stats,
+                rawp=rawp,
+                adjp=adjp,
+                order=observed.order,
+                nperm=options.nperm,
+                test=options.test,
+                side=options.side,
+                complete=options.complete,
+                nranks=comm.size,
+                row_names=row_names,
+            )
+
+    # -- Step 6: free memory (implicit) + attach the profile -----------------
+    if result is not None:
+        result.profile = timer.profile
+    return result

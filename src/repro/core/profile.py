@@ -1,0 +1,105 @@
+"""Five-section runtime profile (the columns of the paper's Tables I–V).
+
+The paper instruments ``pmaxT`` into five sections and reports each per
+process count:
+
+1. **Pre processing** — master-side option validation and normalisation.
+2. **Broadcast parameters** — sending the option block to every rank.
+3. **Create data** — distributing and transforming the input matrix.
+4. **Main kernel** — the per-rank permutation loop.
+5. **Compute p-values** — gathering partial counts and assembling p-values.
+
+:class:`SectionProfile` carries one wall-clock duration per section, plus
+derived totals and speedup helpers used by the benchmark harness.  The same
+container is used for *measured* runs (filled by timers) and *simulated*
+runs (filled by the cluster model), so tables print through one code path.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["SECTION_NAMES", "SectionProfile", "SectionTimer"]
+
+#: Canonical section order, matching the table columns of the paper.
+SECTION_NAMES: tuple[str, ...] = (
+    "pre_processing",
+    "broadcast_parameters",
+    "create_data",
+    "main_kernel",
+    "compute_pvalues",
+)
+
+#: Pretty column headers used by the table renderers.
+SECTION_LABELS: dict[str, str] = {
+    "pre_processing": "Pre processing (s)",
+    "broadcast_parameters": "Broadcast parameters (s)",
+    "create_data": "Create data (s)",
+    "main_kernel": "Main kernel (s)",
+    "compute_pvalues": "Compute p-values (s)",
+}
+
+
+@dataclass
+class SectionProfile:
+    """Wall-clock seconds spent in each of the five pmaxT sections."""
+
+    pre_processing: float = 0.0
+    broadcast_parameters: float = 0.0
+    create_data: float = 0.0
+    main_kernel: float = 0.0
+    compute_pvalues: float = 0.0
+
+    def total(self) -> float:
+        """Sum of all five sections — the paper's total execution time."""
+        return sum(getattr(self, name) for name in SECTION_NAMES)
+
+    def as_row(self) -> tuple[float, ...]:
+        """The five durations in canonical column order."""
+        return tuple(getattr(self, name) for name in SECTION_NAMES)
+
+    def speedup_vs(self, baseline: "SectionProfile") -> float:
+        """Total-time speedup of ``baseline`` relative to this profile."""
+        total = self.total()
+        return baseline.total() / total if total > 0 else float("inf")
+
+    def kernel_speedup_vs(self, baseline: "SectionProfile") -> float:
+        """Main-kernel speedup of ``baseline`` relative to this profile."""
+        if self.main_kernel > 0:
+            return baseline.main_kernel / self.main_kernel
+        return float("inf")
+
+    def __add__(self, other: "SectionProfile") -> "SectionProfile":
+        return SectionProfile(*(a + b for a, b in zip(self.as_row(),
+                                                      other.as_row())))
+
+
+@dataclass
+class SectionTimer:
+    """Context-manager timer that fills a :class:`SectionProfile`.
+
+    Usage::
+
+        timer = SectionTimer()
+        with timer.section("main_kernel"):
+            ...hot loop...
+        profile = timer.profile
+    """
+
+    profile: SectionProfile = field(default_factory=SectionProfile)
+    clock: callable = time.perf_counter
+
+    @contextmanager
+    def section(self, name: str):
+        if name not in SECTION_NAMES:
+            raise ValueError(
+                f"unknown section {name!r}; expected one of {SECTION_NAMES}"
+            )
+        start = self.clock()
+        try:
+            yield
+        finally:
+            elapsed = self.clock() - start
+            setattr(self.profile, name, getattr(self.profile, name) + elapsed)

@@ -1,0 +1,98 @@
+"""Result container for ``mt_maxT`` / ``pmaxT``.
+
+The R functions return a data frame with one row per gene, ordered by
+significance, with columns ``index`` (original row number), ``teststat``,
+``rawp`` and ``adjp``.  :class:`MaxTResult` stores the same content as NumPy
+arrays in *original* row order plus the significance ordering, and renders
+the R-style table on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .profile import SectionProfile
+
+__all__ = ["MaxTResult"]
+
+
+@dataclass
+class MaxTResult:
+    """Output of a maxT permutation test.
+
+    All per-gene arrays are in the original row order of the input matrix;
+    use :attr:`order` (or :meth:`table`) for the significance ordering.
+    """
+
+    #: Observed test statistics (NaN for untestable rows).
+    teststat: np.ndarray
+    #: Raw (unadjusted) permutation p-values.
+    rawp: np.ndarray
+    #: Westfall–Young step-down maxT adjusted p-values.
+    adjp: np.ndarray
+    #: Significance ordering: original row index at each ordered position.
+    order: np.ndarray
+    #: Total permutations used (including the observed labelling).
+    nperm: int
+    #: Statistic name (R ``test=`` value).
+    test: str
+    #: Rejection-region option (``abs``/``upper``/``lower``).
+    side: str
+    #: Whether complete enumeration was used (exact p-values).
+    complete: bool = False
+    #: Five-section runtime profile (populated by ``pmaxT``).
+    profile: SectionProfile | None = None
+    #: Number of processes that executed the job.
+    nranks: int = 1
+    #: Optional row names carried through from the input.
+    row_names: list[str] | None = field(default=None, repr=False)
+
+    @property
+    def m(self) -> int:
+        """Number of hypotheses (rows)."""
+        return int(self.teststat.size)
+
+    def significant(self, alpha: float = 0.05) -> np.ndarray:
+        """Original row indices with adjusted p-value below ``alpha``.
+
+        NaN-adjusted rows (untestable) never qualify.  Rows are returned in
+        significance order.
+        """
+        mask = np.nan_to_num(self.adjp, nan=np.inf) < alpha
+        return np.array([i for i in self.order if mask[i]], dtype=np.int64)
+
+    def table(self, limit: int | None = None) -> str:
+        """Render the R-style result table (rows in significance order)."""
+        rows = self.order if limit is None else self.order[:limit]
+        names = self.row_names
+        header = f"{'':>6} {'index':>7} {'teststat':>12} {'rawp':>10} {'adjp':>10}"
+        lines = [header]
+        for pos, i in enumerate(rows, start=1):
+            label = names[i] if names else str(i + 1)
+            lines.append(
+                f"{label:>6} {i + 1:>7d} {self.teststat[i]:>12.6g} "
+                f"{self.rawp[i]:>10.6g} {self.adjp[i]:>10.6g}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Plain-python dictionary form (for serialisation in examples)."""
+        return {
+            "teststat": self.teststat.tolist(),
+            "rawp": self.rawp.tolist(),
+            "adjp": self.adjp.tolist(),
+            "order": self.order.tolist(),
+            "nperm": self.nperm,
+            "test": self.test,
+            "side": self.side,
+            "complete": self.complete,
+            "nranks": self.nranks,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MaxTResult(m={self.m}, test={self.test!r}, side={self.side!r}, "
+            f"nperm={self.nperm}, complete={self.complete}, nranks={self.nranks})"
+        )

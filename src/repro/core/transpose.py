@@ -1,0 +1,106 @@
+"""In-place non-square matrix transposition (paper future-work item 2).
+
+    "The current implementation performs an array transposition on the
+    input dataset.  For this transformation, a new array is allocated.
+    Algorithms for in-place non-square array transposition exist that are
+    able to perform this step without the need for additional memory."
+    — paper Section 6.
+
+This module implements that suggested optimisation: a cycle-following
+in-place transpose over the flat row-major buffer.  Transposing an ``m x n``
+matrix in place permutes the flat buffer by
+
+    dest(k) = (k * m) mod (m*n - 1)      for 0 < k < m*n - 1
+
+(with positions ``0`` and ``m*n - 1`` fixed).  The permutation decomposes
+into cycles; following each cycle moves every element with O(1) scratch.
+Cycle *leaders* (the smallest index of each cycle) are identified on the
+fly by walking each candidate's cycle once — O(cycle length) integer work
+per candidate, zero extra memory, matching the constraint that motivated
+the suggestion (the exon-array matrices barely fit next to R's own copy).
+
+For the pmaxT data path the win is memory, not time: ``transpose_inplace``
+uses no second buffer, while ``numpy``'s ``ascontiguousarray(X.T)``
+momentarily holds both.  The ablation benchmark
+``benchmarks/bench_ablation_transpose.py`` quantifies the trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["transpose_inplace", "transpose_copy"]
+
+
+def transpose_copy(X: np.ndarray) -> np.ndarray:
+    """Out-of-place transpose (the baseline the paper's code used).
+
+    Allocates the new array explicitly — this is the memory cost the
+    future-work note wants to avoid.
+    """
+    if X.ndim != 2:
+        raise DataError(f"need a 2-D matrix, got shape {X.shape}")
+    return np.ascontiguousarray(X.T)
+
+
+def transpose_inplace(X: np.ndarray) -> np.ndarray:
+    """Transpose a C-contiguous 2-D array in place; returns the new view.
+
+    The data buffer is permuted without an auxiliary array; the returned
+    array is a reshaped view of the *same* buffer with shape ``(n, m)``.
+    The original array object must no longer be used through its old shape.
+
+    Parameters
+    ----------
+    X:
+        C-contiguous 2-D ``numpy`` array.  (Fortran-ordered input would
+        already be its own transpose's buffer; pass C-ordered data.)
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``(n, m)`` view over ``X``'s buffer holding ``X.T``.
+
+    Raises
+    ------
+    DataError
+        If the input is not 2-D or not C-contiguous.
+    """
+    if X.ndim != 2:
+        raise DataError(f"need a 2-D matrix, got shape {X.shape}")
+    if not X.flags.c_contiguous:
+        raise DataError("in-place transpose requires a C-contiguous array")
+    m, n = X.shape
+    flat = X.reshape(-1)
+    size = m * n
+    if size == 0 or m == 1 or n == 1:
+        # A vector's transpose has the identical flat buffer.
+        return flat.reshape(n, m)
+
+    last = size - 1
+
+    def dest(k: int) -> int:
+        return (k * m) % last
+
+    # Walk every candidate cycle start; only act when `start` is the cycle
+    # minimum (its leader), so each cycle is rotated exactly once.
+    for start in range(1, last):
+        probe = dest(start)
+        while probe > start:
+            probe = dest(probe)
+        if probe < start:
+            continue  # not the leader; cycle already handled
+        # Push the leader's value around the cycle: at each hop, deposit
+        # the carried value at its destination and pick up the displaced
+        # one, until the walk returns to the leader.
+        carried = flat[start]
+        k = start
+        while True:
+            d = dest(k)
+            carried, flat[d] = flat[d], carried
+            k = d
+            if k == start:
+                break
+    return flat.reshape(n, m)

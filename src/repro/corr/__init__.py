@@ -1,0 +1,13 @@
+"""Row-correlation functions: SPRINT's original parallel capability.
+
+* :func:`repro.corr.cor` — serial Pearson correlation of matrix rows with
+  R-style missing-value policies;
+* :func:`repro.corr.pcor` — the data-divided parallel version (each rank
+  owns a row block), the decomposition the paper's Section 3.2 contrasts
+  with pmaxT's permutation division.
+"""
+
+from .parallel import pcor, row_block
+from .serial import cor
+
+__all__ = ["cor", "pcor", "row_block"]

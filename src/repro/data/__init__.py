@@ -1,0 +1,32 @@
+"""Synthetic microarray data and label builders.
+
+Stand-ins for the paper's (non-redistributable) expression matrices — see
+:mod:`repro.data.synth` for the generator design and
+:mod:`repro.data.datasets` for the paper-exact dataset descriptors.
+"""
+
+from .datasets import PAPER_DATASETS, DatasetSpec, dataset_size_mb, paper_dataset
+from .labels import block_labels, multiclass_labels, paired_labels, two_class_labels
+from .synth import (
+    GroundTruth,
+    inject_missing,
+    synthetic_blocked,
+    synthetic_expression,
+    synthetic_paired,
+)
+
+__all__ = [
+    "synthetic_expression",
+    "synthetic_paired",
+    "synthetic_blocked",
+    "inject_missing",
+    "GroundTruth",
+    "two_class_labels",
+    "multiclass_labels",
+    "paired_labels",
+    "block_labels",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "paper_dataset",
+    "dataset_size_mb",
+]

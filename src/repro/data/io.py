@@ -1,0 +1,162 @@
+"""Dataset and result I/O.
+
+Life scientists feed ``mt.maxT`` matrices exported from their
+pre-processing pipelines; this module provides the equivalent plumbing for
+the reproduction:
+
+* **datasets** — a CSV layout (header row = sample labels ``class<j>``,
+  first column = gene names) matching how expression matrices travel in
+  practice, plus a lossless NPZ binary form;
+* **results** — the R-style result data frame as a TSV, one row per gene
+  in significance order.
+
+Both loaders round-trip everything the library needs: matrix, class
+labels, row names, and NaN for missing cells.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from ..core.result import MaxTResult
+from ..errors import DataError
+
+__all__ = [
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "write_result_tsv",
+]
+
+
+def save_dataset_npz(path, X, classlabel, row_names=None) -> None:
+    """Save a dataset losslessly to ``.npz``."""
+    X = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(classlabel, dtype=np.int64)
+    if labels.size != X.shape[1]:
+        raise DataError(
+            f"classlabel length {labels.size} != {X.shape[1]} columns"
+        )
+    payload = {"X": X, "classlabel": labels}
+    if row_names is not None:
+        if len(row_names) != X.shape[0]:
+            raise DataError(
+                f"{len(row_names)} row names for {X.shape[0]} rows"
+            )
+        # fixed-width unicode, so loading needs no pickle at all
+        payload["row_names"] = np.asarray([str(n) for n in row_names])
+    np.savez_compressed(path, **payload)
+
+
+def load_dataset_npz(path):
+    """Load ``(X, classlabel, row_names)`` from ``.npz``."""
+    with np.load(path) as data:
+        X = data["X"]
+        labels = data["classlabel"]
+        row_names = ([str(n) for n in data["row_names"]]
+                     if "row_names" in data else None)
+    return X, labels, row_names
+
+
+def save_dataset_csv(path, X, classlabel, row_names=None) -> None:
+    """Save a dataset as CSV: header ``gene,class0,class1,...``.
+
+    Missing cells are written as ``NA`` (the R convention).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(classlabel, dtype=np.int64)
+    if labels.size != X.shape[1]:
+        raise DataError(
+            f"classlabel length {labels.size} != {X.shape[1]} columns"
+        )
+    if row_names is None:
+        row_names = [f"gene{i + 1}" for i in range(X.shape[0])]
+    if len(row_names) != X.shape[0]:
+        raise DataError(f"{len(row_names)} row names for {X.shape[0]} rows")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["gene"] + [f"class{int(c)}" for c in labels])
+        for name, row in zip(row_names, X):
+            writer.writerow(
+                [name] + ["NA" if np.isnan(v) else repr(float(v))
+                          for v in row])
+
+
+def load_dataset_csv(path):
+    """Load ``(X, classlabel, row_names)`` from the CSV layout.
+
+    The header's ``class<j>`` tokens carry the class labels; ``NA`` and
+    empty cells load as NaN.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        if len(header) < 2:
+            raise DataError(f"{path}: header needs gene + sample columns")
+        labels = []
+        for token in header[1:]:
+            token = token.strip()
+            if not token.startswith("class"):
+                raise DataError(
+                    f"{path}: sample column {token!r} must look like "
+                    "'class<j>'"
+                )
+            try:
+                labels.append(int(token[5:]))
+            except ValueError:
+                raise DataError(
+                    f"{path}: cannot parse class id from {token!r}"
+                ) from None
+        rows, names = [], []
+        for lineno, line in enumerate(reader, start=2):
+            if not line:
+                continue
+            if len(line) != len(header):
+                raise DataError(
+                    f"{path}:{lineno}: expected {len(header)} cells, "
+                    f"got {len(line)}"
+                )
+            names.append(line[0])
+            values = []
+            for cell in line[1:]:
+                cell = cell.strip()
+                if cell in ("NA", "NaN", ""):
+                    values.append(np.nan)
+                else:
+                    try:
+                        values.append(float(cell))
+                    except ValueError:
+                        raise DataError(
+                            f"{path}:{lineno}: bad numeric cell {cell!r}"
+                        ) from None
+            rows.append(values)
+    if not rows:
+        raise DataError(f"{path} has no data rows")
+    return (np.array(rows, dtype=np.float64),
+            np.array(labels, dtype=np.int64), names)
+
+
+def write_result_tsv(path, result: MaxTResult) -> None:
+    """Write the R-style result frame as TSV in significance order."""
+    names = result.row_names
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh, delimiter="\t")
+        writer.writerow(["gene", "index", "teststat", "rawp", "adjp"])
+        for i in result.order:
+            name = names[i] if names else f"gene{i + 1}"
+            writer.writerow([
+                name, int(i) + 1,
+                _fmt(result.teststat[i]),
+                _fmt(result.rawp[i]),
+                _fmt(result.adjp[i]),
+            ])
+
+
+def _fmt(value: float) -> str:
+    return "NA" if np.isnan(value) else f"{value:.10g}"

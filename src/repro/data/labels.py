@@ -1,0 +1,68 @@
+"""Class-label builders for the four experimental designs.
+
+These helpers construct ``classlabel`` vectors in the layouts the statistics
+expect (see the design notes in :mod:`repro.permute.counting`), so examples
+and tests don't hand-roll label arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = [
+    "two_class_labels",
+    "multiclass_labels",
+    "paired_labels",
+    "block_labels",
+]
+
+
+def two_class_labels(n0: int, n1: int) -> np.ndarray:
+    """``n0`` zeros followed by ``n1`` ones (two-sample designs)."""
+    if n0 <= 0 or n1 <= 0:
+        raise DataError(f"both classes need samples, got n0={n0}, n1={n1}")
+    return np.concatenate([np.zeros(n0, dtype=np.int64),
+                           np.ones(n1, dtype=np.int64)])
+
+
+def multiclass_labels(counts) -> np.ndarray:
+    """Dense class ids ``0..k-1`` with the given per-class sample counts."""
+    counts = [int(c) for c in counts]
+    if len(counts) < 2:
+        raise DataError("need at least 2 classes")
+    if any(c <= 0 for c in counts):
+        raise DataError(f"every class needs samples, got {counts}")
+    return np.concatenate([
+        np.full(c, j, dtype=np.int64) for j, c in enumerate(counts)
+    ])
+
+
+def paired_labels(npairs: int, flipped: bool = False) -> np.ndarray:
+    """Paired design labels: pair ``i`` in columns ``2i``/``2i+1``.
+
+    ``flipped=False`` labels each pair ``(0, 1)``; ``flipped=True`` labels
+    ``(1, 0)`` — both are valid multtest layouts.
+    """
+    if npairs <= 0:
+        raise DataError(f"npairs must be positive, got {npairs}")
+    pair = (1, 0) if flipped else (0, 1)
+    return np.tile(np.array(pair, dtype=np.int64), npairs)
+
+
+def block_labels(nblocks: int, k: int, seed: int | None = None) -> np.ndarray:
+    """Block design labels: ``nblocks`` blocks of ``k`` adjacent columns.
+
+    With ``seed=None`` every block carries treatments in order ``0..k-1``;
+    with a seed each block's treatment order is shuffled (still one
+    observation per treatment per block) to exercise non-trivial observed
+    labellings.
+    """
+    if nblocks <= 0 or k < 2:
+        raise DataError(f"need nblocks >= 1 and k >= 2, got {nblocks}, {k}")
+    base = np.arange(k, dtype=np.int64)
+    if seed is None:
+        return np.tile(base, nblocks)
+    rng = np.random.default_rng(seed)
+    return np.concatenate([rng.permutation(base) for _ in range(nblocks)])

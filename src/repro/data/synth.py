@@ -1,0 +1,222 @@
+"""Synthetic gene-expression data.
+
+The paper benchmarks on pre-processed Affymetrix-style expression matrices
+(6 102 x 76 after filtering; 36 612 x 76 and 73 224 x 76 exon arrays).  Those
+matrices are not redistributable, so the reproduction generates synthetic
+matrices with the statistical texture that matters to the code paths:
+
+* log-scale expression with gene-specific baselines and variances
+  (log-normal marginals, like normalised microarray intensities),
+* a configurable fraction of differentially expressed (DE) genes whose
+  class-1 samples are shifted by a gene-specific effect size,
+* optional missing values (either NaN or the ``.mt.naNUM`` code),
+* paired and block variants whose within-pair/within-block correlation
+  exercises the ``pairt``/``blockf`` designs.
+
+Only the matrix dimensions and per-row arithmetic drive the benchmark cost,
+so benchmark *shape* is unaffected by the substitution; correctness tests
+use the ground truth returned alongside each matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = [
+    "GroundTruth",
+    "synthetic_expression",
+    "synthetic_paired",
+    "synthetic_blocked",
+    "inject_missing",
+]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """What the generator actually planted, for verification.
+
+    Attributes
+    ----------
+    de_genes:
+        Sorted row indices of the differentially expressed genes.
+    effect_sizes:
+        Per-DE-gene shift applied to class-1 samples (same order as
+        ``de_genes``), in units of the gene's own standard deviation.
+    """
+
+    de_genes: np.ndarray
+    effect_sizes: np.ndarray
+
+    @property
+    def n_de(self) -> int:
+        return int(self.de_genes.size)
+
+    def is_de(self, m: int) -> np.ndarray:
+        """Boolean mask of length ``m`` marking the DE genes."""
+        mask = np.zeros(m, dtype=bool)
+        mask[self.de_genes] = True
+        return mask
+
+
+def _base_expression(rng, n_genes: int, n_samples: int):
+    """Gene-specific baselines/variances + iid normal noise (log scale)."""
+    baseline = rng.normal(8.0, 2.0, size=n_genes)          # log2 intensity
+    sd = rng.gamma(shape=4.0, scale=0.15, size=n_genes) + 0.1
+    X = baseline[:, None] + rng.normal(0.0, 1.0, size=(n_genes, n_samples)) * sd[:, None]
+    return X, sd
+
+
+def synthetic_expression(
+    n_genes: int,
+    n_samples: int,
+    *,
+    n_class1: int | None = None,
+    de_fraction: float = 0.05,
+    effect_size: float = 1.5,
+    seed: int = 0,
+) -> tuple[np.ndarray, GroundTruth]:
+    """Two-class expression matrix with planted differential expression.
+
+    Parameters
+    ----------
+    n_genes, n_samples:
+        Matrix dimensions (rows x columns).
+    n_class1:
+        Number of class-1 samples (the *last* ``n_class1`` columns);
+        defaults to ``n_samples // 2``.
+    de_fraction:
+        Fraction of genes given a class shift.
+    effect_size:
+        Mean |shift| in units of each gene's standard deviation; actual
+        effects vary around it and flip sign at random.
+    seed:
+        Reproducibility seed.
+
+    Returns
+    -------
+    (X, truth)
+        The matrix and the planted ground truth.  Pair with
+        ``two_class_labels(n_samples - n_class1, n_class1)``.
+    """
+    if n_genes <= 0 or n_samples < 4:
+        raise DataError(
+            f"need n_genes >= 1 and n_samples >= 4, got {n_genes}, {n_samples}"
+        )
+    if not 0.0 <= de_fraction <= 1.0:
+        raise DataError(f"de_fraction must be in [0, 1], got {de_fraction}")
+    if n_class1 is None:
+        n_class1 = n_samples // 2
+    if not 2 <= n_class1 <= n_samples - 2:
+        raise DataError(
+            f"n_class1 must leave >= 2 samples per class, got {n_class1}"
+        )
+    rng = np.random.default_rng(seed)
+    X, sd = _base_expression(rng, n_genes, n_samples)
+    n_de = int(round(de_fraction * n_genes))
+    de = rng.choice(n_genes, size=n_de, replace=False)
+    de.sort()
+    effects = rng.normal(effect_size, 0.3 * effect_size, size=n_de)
+    effects *= rng.choice([-1.0, 1.0], size=n_de)
+    X[de, n_samples - n_class1:] += (effects * sd[de])[:, None]
+    return X, GroundTruth(de_genes=de, effect_sizes=effects)
+
+
+def synthetic_paired(
+    n_genes: int,
+    npairs: int,
+    *,
+    de_fraction: float = 0.05,
+    effect_size: float = 1.2,
+    pair_correlation: float = 0.7,
+    seed: int = 0,
+) -> tuple[np.ndarray, GroundTruth]:
+    """Paired design: ``2 * npairs`` columns, pair members adjacent.
+
+    Pair members share a latent subject effect (``pair_correlation`` of the
+    per-gene variance), so the paired t gains power over the unpaired t —
+    the texture that makes ``pairt`` examples meaningful.  Columns
+    ``2i``/``2i+1`` are the class-0/class-1 members of pair ``i``; pair with
+    ``paired_labels(npairs)``.
+    """
+    if npairs < 2:
+        raise DataError(f"need npairs >= 2, got {npairs}")
+    rng = np.random.default_rng(seed)
+    baseline = rng.normal(8.0, 2.0, size=n_genes)
+    sd = rng.gamma(shape=4.0, scale=0.15, size=n_genes) + 0.1
+    rho = float(np.clip(pair_correlation, 0.0, 0.99))
+    subject = rng.normal(0.0, 1.0, size=(n_genes, npairs)) * np.sqrt(rho)
+    noise0 = rng.normal(0.0, 1.0, size=(n_genes, npairs)) * np.sqrt(1 - rho)
+    noise1 = rng.normal(0.0, 1.0, size=(n_genes, npairs)) * np.sqrt(1 - rho)
+    X = np.empty((n_genes, 2 * npairs), dtype=np.float64)
+    X[:, 0::2] = baseline[:, None] + sd[:, None] * (subject + noise0)
+    X[:, 1::2] = baseline[:, None] + sd[:, None] * (subject + noise1)
+    n_de = int(round(de_fraction * n_genes))
+    de = rng.choice(n_genes, size=n_de, replace=False)
+    de.sort()
+    effects = rng.normal(effect_size, 0.3 * effect_size, size=n_de)
+    effects *= rng.choice([-1.0, 1.0], size=n_de)
+    X[de, 1::2] += (effects * sd[de])[:, None]
+    return X, GroundTruth(de_genes=de, effect_sizes=effects)
+
+
+def synthetic_blocked(
+    n_genes: int,
+    nblocks: int,
+    k: int,
+    *,
+    de_fraction: float = 0.05,
+    effect_size: float = 1.2,
+    block_sd: float = 1.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, GroundTruth]:
+    """Randomized complete block design: ``nblocks * k`` columns.
+
+    Block ``b`` occupies columns ``b*k .. (b+1)*k - 1`` with treatments in
+    order ``0..k-1`` (pair with ``block_labels(nblocks, k)``).  Every block
+    carries a shared additive block effect of scale ``block_sd`` — exactly
+    the nuisance the block-F statistic removes — and DE genes get a linear
+    trend across treatments.
+    """
+    if nblocks < 2 or k < 2:
+        raise DataError(f"need nblocks >= 2 and k >= 2, got {nblocks}, {k}")
+    rng = np.random.default_rng(seed)
+    baseline = rng.normal(8.0, 2.0, size=n_genes)
+    sd = rng.gamma(shape=4.0, scale=0.15, size=n_genes) + 0.1
+    block_effect = rng.normal(0.0, block_sd, size=(n_genes, nblocks))
+    noise = rng.normal(0.0, 1.0, size=(n_genes, nblocks, k))
+    cells = baseline[:, None, None] + sd[:, None, None] * noise
+    cells += (sd[:, None] * block_effect)[:, :, None]
+    n_de = int(round(de_fraction * n_genes))
+    de = rng.choice(n_genes, size=n_de, replace=False)
+    de.sort()
+    effects = rng.normal(effect_size, 0.3 * effect_size, size=n_de)
+    trend = np.linspace(-0.5, 0.5, k)
+    cells[de] += (effects[:, None] * sd[de][:, None])[:, None, :] * trend[None, None, :]
+    X = cells.reshape(n_genes, nblocks * k)
+    return X, GroundTruth(de_genes=de, effect_sizes=effects)
+
+
+def inject_missing(
+    X: np.ndarray,
+    rate: float,
+    *,
+    seed: int = 0,
+    code: float | None = None,
+) -> np.ndarray:
+    """Return a copy of ``X`` with a ``rate`` fraction of cells missing.
+
+    ``code=None`` writes NaN; otherwise the numeric code (e.g.
+    :data:`~repro.stats.na.MT_NA_NUM`) is written, exercising the R-style
+    sentinel path.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise DataError(f"missing rate must be in [0, 1), got {rate}")
+    rng = np.random.default_rng(seed)
+    out = np.array(X, dtype=np.float64, copy=True)
+    mask = rng.random(out.shape) < rate
+    out[mask] = np.nan if code is None else code
+    return out

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class.  The hierarchy mirrors the main failure domains of
+the SPRINT pmaxT reproduction: user-facing option validation, permutation
+generator state, MPI-substrate communication, and cluster-model
+configuration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "OptionError",
+    "DataError",
+    "PermutationError",
+    "CompletePermutationOverflow",
+    "CommunicatorError",
+    "CommAbort",
+    "SprintError",
+    "ClusterModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class OptionError(ReproError, ValueError):
+    """An invalid argument was passed through the R-style interface.
+
+    Raised by the option pre-processing step (Step 1 of the parallel
+    implementation in the paper) when e.g. ``test`` names an unknown
+    statistic, ``side`` is not one of ``abs``/``upper``/``lower`` or ``B``
+    is negative.
+    """
+
+
+class DataError(ReproError, ValueError):
+    """The input matrix or class labels are malformed.
+
+    Examples: labels whose length does not match the number of columns,
+    a paired design with an odd number of samples, or a block design whose
+    blocks are not balanced.
+    """
+
+
+class PermutationError(ReproError, ValueError):
+    """A permutation generator was misused (bad skip offset, bad rank)."""
+
+
+class CompletePermutationOverflow(PermutationError):
+    """The complete permutation count exceeds the supported maximum.
+
+    Mirrors the serial R implementation's behaviour: when ``B = 0`` requests
+    complete enumeration but the total count exceeds the maximum allowed
+    limit, the user is asked to explicitly request a smaller number of
+    random permutations instead.
+    """
+
+    def __init__(self, count: int, limit: int):
+        self.count = count
+        self.limit = limit
+        super().__init__(
+            f"complete permutation count {count} exceeds the supported "
+            f"limit {limit}; request a random sample by passing an explicit "
+            f"B > 0 instead of B = 0"
+        )
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """An MPI-substrate collective or point-to-point operation failed."""
+
+
+class CommAbort(CommunicatorError):
+    """A rank called ``abort`` — mirrors ``MPI_Abort`` semantics."""
+
+    def __init__(self, rank: int, message: str = ""):
+        self.rank = rank
+        super().__init__(f"rank {rank} aborted: {message}")
+
+
+class SprintError(ReproError, RuntimeError):
+    """The SPRINT framework layer was driven incorrectly.
+
+    Examples: calling a parallel function before :func:`repro.sprint.init`,
+    registering two functions under one name, or a worker receiving an
+    unknown command.
+    """
+
+
+class ClusterModelError(ReproError, ValueError):
+    """A cluster performance model was configured inconsistently."""

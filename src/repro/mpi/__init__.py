@@ -1,0 +1,25 @@
+"""MPI substrate: communicator interface and in-process backends.
+
+See :mod:`repro.mpi.comm` for the interface, :mod:`repro.mpi.serial` for the
+one-rank world and :mod:`repro.mpi.threads` for the threaded SPMD world used
+by the parallel tests and measured benchmarks.
+"""
+
+from .comm import MAX, MIN, SUM, Communicator, ReduceOp
+from .processes import ProcessComm, run_spmd_processes
+from .serial import SerialComm
+from .threads import ThreadComm, ThreadWorld, run_spmd
+
+__all__ = [
+    "Communicator",
+    "ReduceOp",
+    "SUM",
+    "MAX",
+    "MIN",
+    "SerialComm",
+    "ThreadComm",
+    "ThreadWorld",
+    "run_spmd",
+    "ProcessComm",
+    "run_spmd_processes",
+]

@@ -1,0 +1,232 @@
+"""Process-based SPMD world (real OS processes, like MPI ranks).
+
+SPRINT's ranks are OS processes, not threads.  :func:`run_spmd_processes`
+reproduces that: it forks ``size`` worker processes, each executing the
+same function against a :class:`ProcessComm`, and collects the rank-ordered
+results.  Collectives are routed through per-rank queues with rank 0 acting
+as the coordinator of a star topology — semantically equivalent to (if
+slower than) MPI's trees, and entirely adequate for the control-plane
+volumes pmaxT moves (options, the dataset broadcast, two count vectors).
+
+Trade-offs versus :class:`~repro.mpi.threads.ThreadComm`:
+
+* true memory isolation — a rank cannot scribble on another's arrays, so
+  this backend catches sharing bugs the thread world can't;
+* payloads are pickled, so large broadcasts pay serialisation (the paper's
+  "create data" section, honestly);
+* requires the ``fork`` start method for closures to travel (the default
+  on Linux).
+
+Failure handling: a crashing rank ships its exception back through the
+result queue; the parent terminates the survivors and re-raises.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+from typing import Any, Callable
+
+from ..errors import CommunicatorError
+from .comm import Communicator, ReduceOp, SUM
+
+__all__ = ["ProcessComm", "run_spmd_processes"]
+
+_DEFAULT_TIMEOUT = 300.0
+
+
+class ProcessComm(Communicator):
+    """Per-rank communicator backed by multiprocessing queues.
+
+    ``inboxes[r]`` carries every message addressed to rank ``r`` as
+    ``(kind, source, tag, payload)`` tuples.  Collectives are star-shaped:
+    non-root ranks exchange with the coordinator (rank 0 for barriers,
+    the operation's ``root`` otherwise) using reserved kinds, so user
+    point-to-point traffic and collective traffic cannot be confused.
+    """
+
+    def __init__(self, rank: int, size: int, inboxes,
+                 timeout: float = _DEFAULT_TIMEOUT):
+        self._rank = rank
+        self._size = size
+        self._inboxes = inboxes
+        self._timeout = timeout
+        self._stash: list[tuple] = []  # out-of-order messages
+        # Collective sequence number.  Every rank executes the same
+        # collective sequence (SPMD), so numbering the operations keeps
+        # back-to-back collectives of the same kind from racing: a fast
+        # rank's gather #2 payload can arrive while the root is still
+        # collecting gather #1, and must not be consumed by it.
+        self._opseq = 0
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _put(self, dest: int, kind: str, tag: int, payload: Any) -> None:
+        if not 0 <= dest < self._size:
+            raise CommunicatorError(f"dest {dest} out of range [0, {self._size})")
+        self._inboxes[dest].put((kind, self._rank, tag, payload))
+
+    def _get(self, kind: str, source: int | None, tag: int) -> Any:
+        """Receive the next matching message, stashing non-matching ones."""
+        for i, msg in enumerate(self._stash):
+            k, src, t, payload = msg
+            if k == kind and t == tag and (source is None or src == source):
+                del self._stash[i]
+                return src, payload
+        while True:
+            try:
+                msg = self._inboxes[self._rank].get(timeout=self._timeout)
+            except queue_mod.Empty:
+                raise CommunicatorError(
+                    f"rank {self._rank} timed out waiting for {kind} "
+                    f"(source={source}, tag={tag})"
+                ) from None
+            k, src, t, payload = msg
+            if k == kind and t == tag and (source is None or src == source):
+                return src, payload
+            self._stash.append(msg)
+
+    # -- collectives ---------------------------------------------------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_root(root)
+        seq = self._opseq
+        self._opseq += 1
+        if self._rank == root:
+            for dest in range(self._size):
+                if dest != root:
+                    self._put(dest, "bcast", seq, obj)
+            return obj
+        _, payload = self._get("bcast", root, seq)
+        return payload
+
+    def gather(self, obj: Any, root: int = 0):
+        self._check_root(root)
+        seq = self._opseq
+        self._opseq += 1
+        if self._rank == root:
+            out: list[Any] = [None] * self._size
+            out[root] = obj
+            for _ in range(self._size - 1):
+                src, payload = self._get("gather", None, seq)
+                out[src] = payload
+            return out
+        self._put(root, "gather", seq, obj)
+        return None
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        gathered = self.gather(value, root=root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for other in gathered[1:]:
+            acc = op(acc, other)
+        return acc
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        result = self.reduce(value, op=op, root=0)
+        return self.bcast(result, root=0)
+
+    def barrier(self) -> None:
+        # two-phase star barrier through rank 0
+        seq = self._opseq
+        self._opseq += 1
+        if self._rank == 0:
+            for _ in range(self._size - 1):
+                self._get("barrier-in", None, seq)
+            for dest in range(1, self._size):
+                self._put(dest, "barrier-out", seq, None)
+        else:
+            self._put(0, "barrier-in", seq, None)
+            self._get("barrier-out", 0, seq)
+
+    # -- point-to-point ----------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._put(dest, "p2p", tag, obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self._size:
+            raise CommunicatorError(
+                f"source {source} out of range [0, {self._size})"
+            )
+        _, payload = self._get("p2p", source, tag)
+        return payload
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self._size:
+            raise CommunicatorError(f"root {root} out of range [0, {self._size})")
+
+
+def _worker(fn, rank, size, inboxes, results, timeout):  # pragma: no cover
+    # (covered indirectly — runs in the child process)
+    try:
+        comm = ProcessComm(rank, size, inboxes, timeout)
+        results.put((rank, True, fn(comm)))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        results.put((rank, False, (type(exc).__name__, str(exc),
+                                   traceback.format_exc())))
+
+
+def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
+                       timeout: float = _DEFAULT_TIMEOUT) -> list[Any]:
+    """Run ``fn(comm)`` on ``size`` OS processes; return rank-ordered results.
+
+    Requires a picklable-under-fork ``fn`` (plain functions and closures
+    are fine on Linux).  If any rank raises, the survivors are terminated
+    and a :class:`CommunicatorError` carrying the child's traceback is
+    raised in the caller.
+    """
+    if size <= 0:
+        raise CommunicatorError(f"world size must be positive, got {size}")
+    ctx = mp.get_context("fork")
+    inboxes = [ctx.Queue() for _ in range(size)]
+    results_q = ctx.Queue()
+    procs = [
+        ctx.Process(target=_worker,
+                    args=(fn, rank, size, inboxes, results_q, timeout),
+                    name=f"spmd-proc-{rank}")
+        for rank in range(size)
+    ]
+    for p in procs:
+        p.start()
+    results: list[Any] = [None] * size
+    failure: tuple | None = None
+    try:
+        for _ in range(size):
+            try:
+                rank, ok, payload = results_q.get(timeout=timeout)
+            except queue_mod.Empty:
+                raise CommunicatorError(
+                    "timed out waiting for rank results"
+                ) from None
+            if ok:
+                results[rank] = payload
+            elif failure is None:
+                failure = (rank, payload)
+                break
+    finally:
+        if failure is not None:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+        for p in procs:
+            p.join(timeout=30)
+        for q in inboxes:
+            q.close()
+    if failure is not None:
+        rank, (name, message, tb) = failure
+        raise CommunicatorError(
+            f"rank {rank} failed with {name}: {message}\n--- child "
+            f"traceback ---\n{tb}"
+        )
+    return results

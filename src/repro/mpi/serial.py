@@ -1,0 +1,69 @@
+"""Single-rank communicator.
+
+The degenerate world: one process that is both master and (only) worker.
+Every collective is the identity, which makes ``pmaxT(comm=SerialComm())``
+execute exactly the serial algorithm — the property the equivalence tests
+(serial ≡ parallel at P = 1) rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..errors import CommunicatorError
+from .comm import Communicator, ReduceOp, SUM
+
+__all__ = ["SerialComm"]
+
+
+class SerialComm(Communicator):
+    """A conformant one-rank world."""
+
+    def __init__(self):
+        self._self_queue: dict[int, deque] = {}
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def _check_root(self, root: int) -> None:
+        if root != 0:
+            raise CommunicatorError(f"root {root} out of range for size-1 world")
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_root(root)
+        return obj
+
+    def gather(self, obj: Any, root: int = 0):
+        self._check_root(root)
+        return [obj]
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        self._check_root(root)
+        return value
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        return value
+
+    def barrier(self) -> None:
+        return None
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if dest != 0:
+            raise CommunicatorError(f"dest {dest} out of range for size-1 world")
+        self._self_queue.setdefault(tag, deque()).append(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if source != 0:
+            raise CommunicatorError(f"source {source} out of range for size-1 world")
+        queue = self._self_queue.get(tag)
+        if not queue:
+            raise CommunicatorError(
+                f"recv(tag={tag}) on an empty self-queue would deadlock"
+            )
+        return queue.popleft()

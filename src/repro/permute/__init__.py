@@ -1,0 +1,62 @@
+"""Permutation generators for the pmaxT reproduction.
+
+This subpackage implements the permutation machinery of ``mt.maxT``/``pmaxT``:
+
+* :mod:`~repro.permute.unrank` — exact combinatorial (un)ranking,
+* :mod:`~repro.permute.counting` — complete counts and the ``B = 0`` contract,
+* :mod:`~repro.permute.random_gen` — Monte-Carlo generators (fixed-seed
+  on-the-fly and sequential-stream modes),
+* :mod:`~repro.permute.complete` — exhaustive enumeration with O(1) skip,
+* :mod:`~repro.permute.storage` — the stored-permutation mode.
+
+All generators share the :class:`~repro.permute.base.PermutationGenerator`
+interface whose ``skip`` method is the paper's generator *forwarding*
+extension (Section 3.2, Figure 2).
+"""
+
+from .base import PermutationGenerator
+from .complete import (
+    CompleteBlock,
+    CompleteGenerator,
+    CompleteMulticlass,
+    CompleteSigns,
+    CompleteTwoSample,
+)
+from .counting import (
+    DEFAULT_COMPLETE_LIMIT,
+    complete_count,
+    count_block,
+    count_multiclass,
+    count_paired,
+    count_two_sample,
+    resolve_permutation_count,
+)
+from .random_gen import (
+    DEFAULT_SEED,
+    RandomBlockShuffle,
+    RandomLabelShuffle,
+    RandomSigns,
+)
+from .storage import StoredPermutations, should_store
+
+__all__ = [
+    "PermutationGenerator",
+    "CompleteGenerator",
+    "CompleteTwoSample",
+    "CompleteMulticlass",
+    "CompleteSigns",
+    "CompleteBlock",
+    "RandomLabelShuffle",
+    "RandomSigns",
+    "RandomBlockShuffle",
+    "StoredPermutations",
+    "should_store",
+    "complete_count",
+    "count_two_sample",
+    "count_multiclass",
+    "count_paired",
+    "count_block",
+    "resolve_permutation_count",
+    "DEFAULT_COMPLETE_LIMIT",
+    "DEFAULT_SEED",
+]

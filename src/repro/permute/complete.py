@@ -1,0 +1,175 @@
+"""Complete (exhaustive) permutation generators.
+
+``B = 0`` asks ``mt.maxT`` / ``pmaxT`` for the *complete* permutations of the
+data: the null distribution is the full relabelling group, and the resulting
+p-values are exact.  The paper notes that complete enumeration is always
+performed with the on-the-fly generator (permutations are never stored),
+and that — like the random generator — the first permutation handed out is
+the observed labelling, which only the master process accounts for.
+
+The group is enumerated lexicographically via the unranking primitives in
+:mod:`repro.permute.unrank`, which gives:
+
+* O(1) *forwarding* (``skip``) to any index — rank ``r`` of the MPI job can
+  jump directly to its chunk;
+* full random access for testing.
+
+**Observed-first reindexing.**  The observed labelling is some member of the
+group, at lexicographic rank ``r_obs`` which is generally not 0.  To honour
+the "index 0 is the observed labelling" contract without double-counting,
+indices are passed through the transposition ``0 <-> r_obs``::
+
+    enumeration(0)      = lex(r_obs)   (the observed labelling)
+    enumeration(r_obs)  = lex(0)
+    enumeration(i)      = lex(i)       otherwise
+
+This is a bijection on ``[0, B)``, so the enumerated set is still exactly the
+whole group and the p-values remain exact, while the parallel skip logic can
+treat index 0 as special uniformly across generator types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CompletePermutationOverflow, PermutationError
+from .base import PermutationGenerator
+from .counting import (
+    DEFAULT_COMPLETE_LIMIT,
+    count_block,
+    count_multiclass,
+    count_paired,
+    count_two_sample,
+)
+from .unrank import (
+    rank_combination,
+    rank_multiset,
+    rank_permutation,
+    unrank_combination,
+    unrank_multiset,
+    unrank_permutation,
+    unrank_signs,
+)
+
+__all__ = [
+    "CompleteGenerator",
+    "CompleteTwoSample",
+    "CompleteMulticlass",
+    "CompleteSigns",
+    "CompleteBlock",
+]
+
+
+class CompleteGenerator(PermutationGenerator):
+    """Base class implementing the observed-first transposition."""
+
+    def __init__(self, nperm: int, width: int, observed_rank: int,
+                 limit: int = DEFAULT_COMPLETE_LIMIT):
+        if nperm > limit:
+            raise CompletePermutationOverflow(nperm, limit)
+        super().__init__(nperm, width)
+        self._observed_rank = int(observed_rank)
+
+    def _lex_index(self, index: int) -> int:
+        """Map an enumeration index to a lexicographic rank (0 <-> r_obs)."""
+        if index == 0:
+            return self._observed_rank
+        if index == self._observed_rank:
+            return 0
+        return index
+
+    def _encode(self, index: int) -> np.ndarray:
+        return self._unrank(self._lex_index(index))
+
+    def _unrank(self, lex_rank: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class CompleteTwoSample(CompleteGenerator):
+    """All ``C(n, n1)`` class-1 column assignments for two-sample tests."""
+
+    def __init__(self, classlabel, *, limit: int = DEFAULT_COMPLETE_LIMIT):
+        labels = np.asarray(classlabel, dtype=np.int64)
+        total = count_two_sample(labels)
+        self.n = int(labels.size)
+        self.n1 = int((labels == 1).sum())
+        observed = rank_combination(np.nonzero(labels == 1)[0], self.n)
+        super().__init__(total, self.n, observed, limit)
+
+    def _unrank(self, lex_rank: int) -> np.ndarray:
+        out = np.zeros(self.n, dtype=np.int64)
+        out[unrank_combination(lex_rank, self.n, self.n1)] = 1
+        return out
+
+
+class CompleteMulticlass(CompleteGenerator):
+    """All ``n!/prod(n_j!)`` label arrangements for the k-class F test."""
+
+    def __init__(self, classlabel, *, limit: int = DEFAULT_COMPLETE_LIMIT):
+        labels = np.asarray(classlabel, dtype=np.int64)
+        total = count_multiclass(labels)
+        self.counts = tuple(int(c) for c in np.bincount(labels))
+        observed = rank_multiset(labels, self.counts)
+        super().__init__(total, int(labels.size), observed, limit)
+
+    def _unrank(self, lex_rank: int) -> np.ndarray:
+        return unrank_multiset(lex_rank, self.counts)
+
+
+class CompleteSigns(CompleteGenerator):
+    """All ``2 ** npairs`` pair-swap sign vectors for the paired-t test.
+
+    The observed labelling is the all ``+1`` vector, which is already
+    lexicographic rank 0, so the reindexing transposition is the identity.
+    """
+
+    def __init__(self, npairs: int, *, limit: int = DEFAULT_COMPLETE_LIMIT):
+        if npairs <= 0:
+            raise PermutationError(f"npairs must be positive, got {npairs}")
+        total = 1 << npairs
+        if total > limit:
+            raise CompletePermutationOverflow(total, limit)
+        super().__init__(total, npairs, observed_rank=0, limit=limit)
+
+    def _unrank(self, lex_rank: int) -> np.ndarray:
+        return unrank_signs(lex_rank, self.width)
+
+    @classmethod
+    def from_classlabel(cls, classlabel, *, limit: int = DEFAULT_COMPLETE_LIMIT):
+        """Build from a paired 0/1 classlabel vector (validates the layout)."""
+        count_paired(classlabel)  # validates; raises DataError on bad layout
+        return cls(len(classlabel) // 2, limit=limit)
+
+
+class CompleteBlock(CompleteGenerator):
+    """All ``(k!) ** nblocks`` within-block shuffles for the block-F test.
+
+    The enumeration rank is a mixed-radix number whose digits are the Lehmer
+    ranks of each block's treatment permutation, block 0 most significant.
+    """
+
+    def __init__(self, classlabel, k: int, *, limit: int = DEFAULT_COMPLETE_LIMIT):
+        labels = np.asarray(classlabel, dtype=np.int64)
+        total = count_block(labels)
+        self.k = int(k)
+        if labels.size % self.k != 0:
+            raise PermutationError(
+                f"block design needs n divisible by k; n={labels.size}, k={k}"
+            )
+        self.nblocks = labels.size // self.k
+        from math import factorial
+
+        self._kfact = factorial(self.k)
+        blocks = labels.reshape(self.nblocks, self.k)
+        observed = 0
+        for b in range(self.nblocks):
+            observed = observed * self._kfact + rank_permutation(blocks[b])
+        super().__init__(total, int(labels.size), observed, limit)
+
+    def _unrank(self, lex_rank: int) -> np.ndarray:
+        out = np.empty((self.nblocks, self.k), dtype=np.int64)
+        r = lex_rank
+        for b in range(self.nblocks - 1, -1, -1):
+            r, digit = divmod(r, self._kfact)
+            out[b] = unrank_permutation(digit, self.k)
+        return out.reshape(-1)

@@ -1,0 +1,175 @@
+"""Random (Monte-Carlo) permutation generators.
+
+``mt.maxT`` exposes the sampling mode through ``fixed.seed.sampling``:
+
+``"y"`` — *fixed-seed, on-the-fly*:
+    the permutation at index ``i`` is produced by an RNG seeded from
+    ``(seed, i)``, so any process can reproduce any permutation without
+    replaying the stream.  This is what makes the paper's O(1) generator
+    *forwarding* possible and is the default in both ``mt.maxT`` and
+    ``pmaxT``.
+
+``"n"`` — *sequential stream*:
+    a single RNG stream produces permutations in order; forwarding a
+    process's generator means drawing and discarding the permutations owned
+    by lower ranks.  The serial implementation stores these permutations in
+    memory before computing (see :mod:`repro.permute.storage`).
+
+Both modes enumerate **index 0 as the observed labelling** and draw no
+randomness for it, so for a fixed seed the sequence of permutations at
+indices ``1..B-1`` is identical no matter how the index range is partitioned
+across ranks — the property the paper's Figure 2 relies on.
+
+Three concrete generators cover the statistic families:
+
+* :class:`RandomLabelShuffle` — two-sample and F tests (label vector),
+* :class:`RandomSigns` — paired t (sign vector),
+* :class:`RandomBlockShuffle` — block F (within-block label shuffles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PermutationError
+from .base import PermutationGenerator
+
+__all__ = [
+    "RandomLabelShuffle",
+    "RandomSigns",
+    "RandomBlockShuffle",
+    "DEFAULT_SEED",
+]
+
+#: Seed used when the caller does not provide one, mirroring the fixed
+#: default seed the multtest C implementation uses for reproducible runs.
+DEFAULT_SEED: int = 3455660
+
+def _rng_for(seed: int, index: int) -> np.random.Generator:
+    """Independent RNG for permutation ``index`` under the fixed-seed mode."""
+    return np.random.default_rng([np.uint64(seed), np.uint64(index)])
+
+
+class _RandomBase(PermutationGenerator):
+    """Shared draw/skip plumbing for the three random generators."""
+
+    def __init__(self, nperm: int, width: int, seed: int, fixed_seed: bool):
+        super().__init__(nperm, width)
+        self.seed = int(seed)
+        self.fixed_seed = bool(fixed_seed)
+        self.supports_random_access = self.fixed_seed
+        self._stream = None if self.fixed_seed else np.random.default_rng(self.seed)
+
+    # Subclasses provide the observed encoding and a draw from an RNG.
+
+    def _observed(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _draw(self, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- generator plumbing ---------------------------------------------------
+
+    def reset(self) -> None:
+        super().reset()
+        if not self.fixed_seed:
+            self._stream = np.random.default_rng(self.seed)
+
+    def _encode(self, index: int) -> np.ndarray:
+        if index == 0:
+            return self._observed()
+        if not self.fixed_seed:  # pragma: no cover - guarded by base class
+            raise PermutationError("sequential stream has no random access")
+        return self._draw(_rng_for(self.seed, index))
+
+    def _next(self) -> np.ndarray:
+        if self.fixed_seed:
+            return self._encode(self._position)
+        if self._position == 0:
+            return self._observed()
+        return self._draw(self._stream)
+
+    def _do_skip(self, count: int) -> None:
+        if self.fixed_seed:
+            return
+        # Index 0 consumes no randomness; every other skipped index is a
+        # discarded draw — the literal "forward the generator" of the paper.
+        draws = count - 1 if self._position == 0 else count
+        for _ in range(max(draws, 0)):
+            self._draw(self._stream)
+
+
+class RandomLabelShuffle(_RandomBase):
+    """Uniformly random relabelling for two-sample and k-class F tests.
+
+    Each resample is a uniformly random permutation of the observed class
+    label vector (equivalently, of the column order), which is the null
+    distribution ``mt.maxT`` samples for ``t``, ``t.equalvar``, ``wilcoxon``
+    and ``f``.
+    """
+
+    def __init__(self, classlabel, nperm: int, *, seed: int = DEFAULT_SEED,
+                 fixed_seed: bool = True):
+        labels = np.asarray(classlabel, dtype=np.int64)
+        if labels.ndim != 1:
+            raise PermutationError("classlabel must be a 1-D vector")
+        super().__init__(nperm, labels.size, seed, fixed_seed)
+        self._labels = labels.copy()
+        self._labels.flags.writeable = False
+
+    def _observed(self) -> np.ndarray:
+        return self._labels.copy()
+
+    def _draw(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.permutation(self._labels)
+
+
+class RandomSigns(_RandomBase):
+    """Uniformly random pair-swap signs for the paired-t test.
+
+    Each resample assigns an independent fair ``+1``/``-1`` to every pair,
+    sampling the ``2 ** npairs`` sign-flip group.
+    """
+
+    def __init__(self, npairs: int, nperm: int, *, seed: int = DEFAULT_SEED,
+                 fixed_seed: bool = True):
+        super().__init__(nperm, npairs, seed, fixed_seed)
+
+    def _observed(self) -> np.ndarray:
+        return np.ones(self.width, dtype=np.int64)
+
+    def _draw(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, 2, size=self.width, dtype=np.int64) * 2 - 1
+
+
+class RandomBlockShuffle(_RandomBase):
+    """Independent within-block treatment shuffles for the block-F test.
+
+    The block structure (which columns belong to which block) is fixed;
+    each resample independently permutes the treatment labels inside every
+    block, sampling the ``(k!) ** nblocks`` within-block permutation group.
+    """
+
+    def __init__(self, classlabel, k: int, nperm: int, *, seed: int = DEFAULT_SEED,
+                 fixed_seed: bool = True):
+        labels = np.asarray(classlabel, dtype=np.int64)
+        if labels.ndim != 1:
+            raise PermutationError("classlabel must be a 1-D vector")
+        if k <= 0 or labels.size % k != 0:
+            raise PermutationError(
+                f"block design needs n divisible by k; n={labels.size}, k={k}"
+            )
+        super().__init__(nperm, labels.size, seed, fixed_seed)
+        self.k = int(k)
+        self.nblocks = labels.size // self.k
+        self._blocks = labels.reshape(self.nblocks, self.k).copy()
+        self._blocks.flags.writeable = False
+
+    def _observed(self) -> np.ndarray:
+        return self._blocks.reshape(-1).copy()
+
+    def _draw(self, rng: np.random.Generator) -> np.ndarray:
+        out = np.empty((self.nblocks, self.k), dtype=np.int64)
+        for b in range(self.nblocks):
+            out[b] = self._blocks[b][rng.permutation(self.k)]
+        return out.reshape(-1)

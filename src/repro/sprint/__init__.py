@@ -1,0 +1,19 @@
+"""SPRINT framework layer: master/worker dispatch of parallel functions.
+
+Implements the architecture of paper Figure 1 — see
+:mod:`repro.sprint.framework` for the command loop,
+:mod:`repro.sprint.registry` for the parallel-function library and
+:mod:`repro.sprint.session` for the user-facing session façade.
+"""
+
+from .framework import MasterHandle, SprintFramework
+from .registry import FunctionRegistry, default_registry
+from .session import SprintSession
+
+__all__ = [
+    "SprintFramework",
+    "MasterHandle",
+    "FunctionRegistry",
+    "default_registry",
+    "SprintSession",
+]

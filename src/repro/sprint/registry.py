@@ -1,0 +1,107 @@
+"""SPRINT parallel-function registry.
+
+SPRINT ships a *library of parallel functions* that the framework dispatches
+by name: the master broadcasts a command naming the function, and every rank
+executes the registered implementation collectively (paper Section 2,
+Figure 1).  This module is that library's index.
+
+A registered function has the signature ``fn(comm, *args, **kwargs)`` and is
+executed on **every** rank with the same arguments; it may use the
+communicator for data distribution and reduction.  Only the master's return
+value is surfaced to the user.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import SprintError
+
+__all__ = ["FunctionRegistry", "default_registry"]
+
+ParallelFunction = Callable[..., Any]
+
+
+class FunctionRegistry:
+    """Name → parallel-function mapping with collision checking."""
+
+    def __init__(self):
+        self._functions: dict[str, ParallelFunction] = {}
+
+    def register(self, name: str, fn: ParallelFunction, *,
+                 overwrite: bool = False) -> None:
+        """Register ``fn`` under ``name``.
+
+        Raises
+        ------
+        SprintError
+            If ``name`` is already registered and ``overwrite`` is False.
+        """
+        if not name or not isinstance(name, str):
+            raise SprintError(f"function name must be a non-empty string, got {name!r}")
+        if name in self._functions and not overwrite:
+            raise SprintError(f"function {name!r} is already registered")
+        if not callable(fn):
+            raise SprintError(f"function {name!r} must be callable")
+        self._functions[name] = fn
+
+    def lookup(self, name: str) -> ParallelFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise SprintError(
+                f"unknown parallel function {name!r}; registered: "
+                f"{', '.join(sorted(self._functions)) or '(none)'}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._functions))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+
+def _pmaxt_parallel(comm, X, classlabel, **kwargs):
+    """The registered ``pmaxT`` — the library function this paper adds."""
+    from ..core.pmaxt import pmaxT
+
+    return pmaxT(X, classlabel, comm=comm, **kwargs)
+
+
+def _pcor_parallel(comm, X, Y=None, **kwargs):
+    """The registered ``pcor`` — SPRINT's original parallel function."""
+    from ..corr import pcor
+
+    return pcor(X, Y, comm=comm, **kwargs)
+
+
+def _papply_parallel(comm, fn, items):
+    """A minimal ``papply``-style helper: map ``fn`` over ``items``.
+
+    Items are block-distributed over ranks; results are gathered to the
+    master in order.  Included because the SPRINT survey (paper Section 1)
+    lists simple apply-style parallelism as the baseline capability of the
+    other R packages SPRINT is compared against.
+    """
+    items = list(items)
+    mine = items[comm.rank::comm.size]
+    local = [(i, fn(item)) for i, item in
+             zip(range(comm.rank, len(items), comm.size), mine)]
+    gathered = comm.gather(local, root=0)
+    if not comm.is_master:
+        return None
+    flat = [pair for chunk in gathered for pair in chunk]
+    flat.sort(key=lambda p: p[0])
+    return [value for _, value in flat]
+
+
+def default_registry() -> FunctionRegistry:
+    """The built-in SPRINT function library of this reproduction."""
+    registry = FunctionRegistry()
+    registry.register("pmaxT", _pmaxt_parallel)
+    registry.register("pcor", _pcor_parallel)
+    registry.register("papply", _papply_parallel)
+    return registry

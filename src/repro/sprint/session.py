@@ -1,0 +1,108 @@
+"""User-facing SPRINT session: the "R script" experience.
+
+The paper's usability pitch is that a life scientist runs an unchanged
+analysis script under ``mpiexec`` and SPRINT handles the parallelism.  The
+Python analogue is :class:`SprintSession`: a context manager that stands up
+an SPMD world in-process (worker threads running the framework waiting
+loop), exposes the parallel library to the calling thread, and tears
+everything down on exit::
+
+    with SprintSession(nprocs=4) as sprint:
+        result = sprint.pmaxT(X, labels, test="t", B=150_000)
+        mapped = sprint.call("papply", f, items)
+
+This mirrors ``mpiexec -n NSLOTS R --no-save -f SCRIPT`` (paper Section
+4.2) with the process pool replaced by the in-process thread world.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..errors import SprintError
+from ..mpi.threads import ThreadWorld
+from .framework import MasterHandle, SprintFramework
+from .registry import FunctionRegistry, default_registry
+
+__all__ = ["SprintSession"]
+
+
+class SprintSession:
+    """An in-process SPRINT world with the calling thread as master."""
+
+    def __init__(self, nprocs: int = 2,
+                 registry: FunctionRegistry | None = None):
+        if nprocs < 1:
+            raise SprintError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.registry = registry if registry is not None else default_registry()
+        self._world: ThreadWorld | None = None
+        self._workers: list[threading.Thread] = []
+        self._worker_errors: list[BaseException] = []
+        self._master: MasterHandle | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "SprintSession":
+        if self._master is not None:
+            raise SprintError("session already started")
+        self._world = ThreadWorld(self.nprocs)
+
+        def worker(rank: int) -> None:
+            try:
+                SprintFramework(self._world.comm(rank), self.registry).init()
+            except BaseException as exc:  # noqa: BLE001 - surfaced at close
+                self._worker_errors.append(exc)
+                self._world.abort(rank)
+
+        self._workers = [
+            threading.Thread(target=worker, args=(r,), name=f"sprint-worker-{r}",
+                             daemon=True)
+            for r in range(1, self.nprocs)
+        ]
+        for t in self._workers:
+            t.start()
+        framework = SprintFramework(self._world.comm(0), self.registry)
+        self._master = framework.init()
+        return self
+
+    def close(self) -> None:
+        if self._master is not None:
+            self._master.shutdown()
+            self._master = None
+        for t in self._workers:
+            t.join(timeout=30)
+        self._workers = []
+        if self._worker_errors:
+            exc = self._worker_errors[0]
+            self._worker_errors = []
+            raise SprintError(f"a worker rank failed: {exc!r}") from exc
+
+    def __enter__(self) -> "SprintSession":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # If user code already blew up, don't mask it with shutdown noise.
+        try:
+            self.close()
+        except SprintError:
+            if exc_type is None:
+                raise
+
+    # -- the parallel library ------------------------------------------------------
+
+    def call(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Collectively evaluate a registered parallel function."""
+        if self._master is None:
+            raise SprintError("session not started; use `with SprintSession(...)`")
+        return self._master.call(name, *args, **kwargs)
+
+    def pmaxT(self, X, classlabel, **kwargs: Any):
+        """The paper's function: parallel maxT over this session's world."""
+        return self.call("pmaxT", X, classlabel, **kwargs)
+
+    @property
+    def size(self) -> int:
+        """World size (master + workers)."""
+        return self.nprocs

@@ -1,0 +1,44 @@
+"""The six ``mt.maxT`` test statistics, vectorized and NA-aware.
+
+Statistics are addressed by their R interface names via
+:func:`~repro.stats.registry.make_statistic`:
+
+========== ======================================= =================
+``test=``  statistic                                encoding family
+========== ======================================= =================
+t          two-sample Welch t (unequal variances)   label vectors
+t.equalvar two-sample pooled-variance t             label vectors
+wilcoxon   standardized rank-sum                    label vectors
+f          one-way ANOVA F                          label vectors
+pairt      paired t                                 sign vectors
+blockf     block-adjusted (two-way) F               label vectors
+========== ======================================= =================
+"""
+
+from .base import TestStatistic, TwoSampleMoments
+from .block_f import BlockF
+from .equalvar_t import EqualVarT
+from .fstat import FStat
+from .na import MT_NA_NUM, row_ranks, to_nan, valid_mask
+from .paired_t import PairedT
+from .registry import STATISTICS, available_tests, make_statistic
+from .welch_t import WelchT
+from .wilcoxon import Wilcoxon
+
+__all__ = [
+    "TestStatistic",
+    "TwoSampleMoments",
+    "WelchT",
+    "EqualVarT",
+    "Wilcoxon",
+    "FStat",
+    "PairedT",
+    "BlockF",
+    "STATISTICS",
+    "available_tests",
+    "make_statistic",
+    "MT_NA_NUM",
+    "to_nan",
+    "valid_mask",
+    "row_ranks",
+]

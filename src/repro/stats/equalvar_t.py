@@ -1,0 +1,52 @@
+"""Two-sample pooled-variance t-statistic (``test = "t.equalvar"``).
+
+The classical two-sample t assuming equal variances::
+
+    sp2 = (SS1 + SS0) / (n1 + n0 - 2)
+    t   = (mean1 - mean0) / sqrt(sp2 * (1/n1 + 1/n0))
+
+where ``SSj`` is the within-class sum of squared deviations over the row's
+valid samples.  Rows with fewer than two valid samples in a class (or with
+zero pooled variance) yield NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .base import TestStatistic, TwoSampleMoments
+
+__all__ = ["EqualVarT"]
+
+
+class EqualVarT(TestStatistic):
+    name = "t.equalvar"
+    family = "label"
+
+    def _validate_design(self, labels: np.ndarray) -> None:
+        classes = np.unique(labels)
+        if not np.array_equal(classes, [0, 1]):
+            raise DataError(
+                f"test='t.equalvar' needs class labels {{0, 1}}, "
+                f"got classes {classes.tolist()}"
+            )
+
+    def _prepare(self, X: np.ndarray, labels: np.ndarray) -> None:
+        self._moments = TwoSampleMoments(X)
+
+    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
+        N1, S1, Q1, N0, S0, Q0 = self._moments.split(encodings)
+        mean1 = S1 / N1
+        mean0 = S0 / N0
+        ss1 = Q1 - S1 * mean1
+        ss0 = Q0 - S0 * mean0
+        np.maximum(ss1, 0.0, out=ss1)
+        np.maximum(ss0, 0.0, out=ss0)
+        dof = N1 + N0 - 2.0
+        sp2 = (ss1 + ss0) / dof
+        se = np.sqrt(sp2 * (1.0 / N1 + 1.0 / N0))
+        t = (mean1 - mean0) / se
+        bad = (N1 < 2) | (N0 < 2) | (se == 0.0)
+        t[bad] = np.nan
+        return t

@@ -1,0 +1,79 @@
+"""One-way ANOVA F-statistic (``test = "f"``).
+
+Per row, with ``k`` classes over the valid samples::
+
+    F = [ SS_between / (k - 1) ] / [ SS_within / (nv - k) ]
+
+where ``SS_between = sum_j n_j (mean_j - mean)^2`` and ``SS_within`` is the
+pooled within-class sum of squared deviations.  Classes with no valid sample
+in a row make the statistic NaN (the design is broken for that row), as does
+zero within-class variance.
+
+Vectorization: per batch, one GEMM per class against the masked data, masked
+squares and validity matrices (``3k`` GEMMs total) yields all class counts,
+sums and sums of squares for all rows simultaneously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .base import TestStatistic
+from .na import valid_mask
+
+__all__ = ["FStat"]
+
+
+class FStat(TestStatistic):
+    name = "f"
+    family = "label"
+
+    def _validate_design(self, labels: np.ndarray) -> None:
+        classes = np.unique(labels)
+        self.k = int(classes.size)
+        if self.k < 2:
+            raise DataError("test='f' needs at least 2 classes")
+        if not np.array_equal(classes, np.arange(self.k)):
+            raise DataError(
+                f"test='f' needs dense class labels 0..k-1, got {classes.tolist()}"
+            )
+
+    def _prepare(self, X: np.ndarray, labels: np.ndarray) -> None:
+        V = valid_mask(X)
+        self._V = V.astype(np.float64)
+        self._Xz = np.where(V, X, 0.0)
+        self._Xz2 = self._Xz * self._Xz
+        self._n_valid = self._V.sum(axis=1)
+        self._sum_all = self._Xz.sum(axis=1)
+        self._sumsq_all = self._Xz2.sum(axis=1)
+
+    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
+        m = self.m
+        nb = encodings.shape[0]
+        nv = self._n_valid[:, None]
+        grand_sum = self._sum_all[:, None]
+        # Accumulate sum_j S_j^2 / n_j and detect empty classes.
+        between_raw = np.zeros((m, nb), dtype=np.float64)
+        broken = np.zeros((m, nb), dtype=bool)
+        for j in range(self.k):
+            Gj = (encodings == j).T.astype(np.float64)  # (n, nb)
+            Nj = self._V @ Gj
+            Sj = self._Xz @ Gj
+            empty = Nj == 0.0
+            broken |= empty
+            with np.errstate(invalid="ignore", divide="ignore"):
+                contrib = Sj * Sj / Nj
+            contrib[empty] = 0.0
+            between_raw += contrib
+        ss_between = between_raw - grand_sum * grand_sum / nv
+        ss_total = self._sumsq_all[:, None] - grand_sum * grand_sum / nv
+        ss_within = ss_total - ss_between
+        np.maximum(ss_within, 0.0, out=ss_within)
+        np.maximum(ss_between, 0.0, out=ss_between)
+        dof_b = self.k - 1.0
+        dof_w = nv - self.k
+        F = (ss_between / dof_b) / (ss_within / dof_w)
+        bad = broken | (dof_w < 1.0) | (ss_within == 0.0)
+        F = np.where(bad, np.nan, F)
+        return F

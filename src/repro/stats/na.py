@@ -1,0 +1,70 @@
+"""Missing-value handling and row-wise rank transforms.
+
+``mt.maxT`` marks missing values with a numeric sentinel (``.mt.naNUM``,
+an R-side constant) and excludes them from every computation.  This module
+converts the sentinel representation into NaN + a validity mask once, up
+front, so the vectorized statistic kernels can treat missingness as plain
+arithmetic (zero-filled data matrices plus indicator-mask GEMMs).
+
+It also provides the row-wise average-rank transform used by the Wilcoxon
+statistic and by the ``nonpara = "y"`` option.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import rankdata
+
+from ..errors import DataError
+
+__all__ = ["MT_NA_NUM", "to_nan", "valid_mask", "row_ranks"]
+
+#: The ``.mt.naNUM`` sentinel of the multtest package.  Any cell equal to
+#: the user-supplied ``na`` code (this value by default) is treated as
+#: missing, exactly like the R interface.
+MT_NA_NUM: float = -93074815.0
+
+
+def to_nan(X, na: float | None = MT_NA_NUM) -> np.ndarray:
+    """Return a float64 copy of ``X`` with the ``na`` code replaced by NaN.
+
+    Parameters
+    ----------
+    X:
+        ``m x n`` data matrix (rows = genes/features, columns = samples).
+    na:
+        Numeric missing-value code; cells equal to it become NaN.  Pass
+        ``None`` to skip code substitution (NaNs already present are always
+        treated as missing either way).
+    """
+    arr = np.array(X, dtype=np.float64, copy=True)
+    if arr.ndim != 2:
+        raise DataError(f"X must be a 2-D matrix, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise DataError(f"X must be non-empty, got shape {arr.shape}")
+    if na is not None and not np.isnan(na):
+        arr[arr == na] = np.nan
+    return arr
+
+
+def valid_mask(X: np.ndarray) -> np.ndarray:
+    """Boolean ``m x n`` mask of non-missing cells (True = usable)."""
+    return ~np.isnan(X)
+
+
+def row_ranks(X: np.ndarray) -> np.ndarray:
+    """Average ranks within each row, ignoring missing cells.
+
+    Valid cells in a row receive ranks ``1 .. n_valid`` (ties get the
+    average of the ranks they span); missing cells receive 0, which keeps
+    them inert in the masked-GEMM kernels.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 matrix of the same shape as ``X``.
+    """
+    ranks = rankdata(X, axis=1, nan_policy="omit")
+    ranks = np.asarray(ranks, dtype=np.float64)
+    ranks[np.isnan(ranks)] = 0.0
+    return ranks

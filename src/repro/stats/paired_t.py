@@ -1,0 +1,79 @@
+"""Paired t-statistic (``test = "pairt"``).
+
+The layout follows multtest: ``n = 2 * npairs`` columns, the two members of
+pair ``i`` in columns ``2i`` and ``2i + 1``, labelled 0 and 1 within each
+pair.  The per-row differences ``d_i = x(class 1 member) - x(class 0
+member)`` are formed once; a permutation is a vector of signs ``z in
+{+1, -1}^npairs`` (swap a pair = flip its difference) and the statistic is::
+
+    t = mean(z * d) / sqrt(var(z * d) / np_valid)
+
+Pairs with either member missing are dropped from the row.  Two quantities
+are sign-invariant — the valid-pair count and ``sum(d^2)`` — so per batch the
+kernel needs a single GEMM ``D @ Z^T``.  Rows with fewer than two valid pairs
+or zero variance yield NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .base import TestStatistic
+from .na import valid_mask
+
+__all__ = ["PairedT"]
+
+
+class PairedT(TestStatistic):
+    name = "pairt"
+    family = "signs"
+
+    @property
+    def width(self) -> int:
+        return self.npairs
+
+    def _validate_design(self, labels: np.ndarray) -> None:
+        if labels.size % 2 != 0:
+            raise DataError(
+                f"test='pairt' needs an even number of columns, got {labels.size}"
+            )
+        self.npairs = labels.size // 2
+        pairs = labels.reshape(self.npairs, 2)
+        if not (np.sort(pairs, axis=1) == np.array([0, 1])).all():
+            raise DataError(
+                "test='pairt' requires each adjacent column pair to carry "
+                "labels {0, 1}"
+            )
+
+    def _prepare(self, X: np.ndarray, labels: np.ndarray) -> None:
+        pairs = labels.reshape(self.npairs, 2)
+        cols = np.arange(self.n).reshape(self.npairs, 2)
+        # Column of the class-1 member minus column of the class-0 member.
+        one_is_second = pairs[:, 1] == 1
+        col1 = np.where(one_is_second, cols[:, 1], cols[:, 0])
+        col0 = np.where(one_is_second, cols[:, 0], cols[:, 1])
+        D = X[:, col1] - X[:, col0]  # NaN when either member is missing
+        Vp = valid_mask(D)
+        self._Vp = Vp.astype(np.float64)
+        self._Dz = np.where(Vp, D, 0.0)
+        self._np_valid = self._Vp.sum(axis=1)
+        self._sumsq = (self._Dz * self._Dz).sum(axis=1)
+
+    def observed_encoding(self) -> np.ndarray:
+        return np.ones(self.npairs, dtype=np.int64)
+
+    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
+        if not np.isin(encodings, (-1, 1)).all():
+            raise DataError("pairt encodings must be +/-1 sign vectors")
+        Z = encodings.T.astype(np.float64)  # (npairs, nb)
+        S = self._Dz @ Z  # (m, nb); sum of signed differences
+        npv = self._np_valid[:, None]
+        mean = S / npv
+        var = (self._sumsq[:, None] - S * mean) / (npv - 1.0)
+        np.maximum(var, 0.0, out=var)
+        se = np.sqrt(var / npv)
+        t = mean / se
+        bad = (npv < 2) | (se == 0.0)
+        t = np.where(bad, np.nan, t)
+        return t

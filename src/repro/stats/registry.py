@@ -1,0 +1,57 @@
+"""Statistic registry keyed by the R interface's ``test=`` strings.
+
+The six statistics of ``mt.maxT``/``pmaxT`` (paper Section 3.1) are
+registered here under their R names.  :func:`make_statistic` is the factory
+used by both the serial and the parallel drivers, so they are guaranteed to
+score data identically.
+"""
+
+from __future__ import annotations
+
+from ..errors import OptionError
+from .base import TestStatistic
+from .block_f import BlockF
+from .equalvar_t import EqualVarT
+from .fstat import FStat
+from .na import MT_NA_NUM
+from .paired_t import PairedT
+from .welch_t import WelchT
+from .wilcoxon import Wilcoxon
+
+__all__ = ["STATISTICS", "available_tests", "make_statistic"]
+
+#: Registry of statistic classes by R interface name.
+STATISTICS: dict[str, type[TestStatistic]] = {
+    WelchT.name: WelchT,
+    EqualVarT.name: EqualVarT,
+    Wilcoxon.name: Wilcoxon,
+    FStat.name: FStat,
+    PairedT.name: PairedT,
+    BlockF.name: BlockF,
+}
+
+
+def available_tests() -> tuple[str, ...]:
+    """The supported ``test=`` option values, in registry order."""
+    return tuple(STATISTICS)
+
+
+def make_statistic(test: str, X, classlabel, *, na: float | None = MT_NA_NUM,
+                   nonpara: str = "n") -> TestStatistic:
+    """Instantiate the statistic named ``test``, bound to the dataset.
+
+    Raises
+    ------
+    OptionError
+        If ``test`` is not one of the six supported statistics.
+    DataError
+        If the labels do not fit the statistic's design (propagated from the
+        statistic's validator).
+    """
+    try:
+        cls = STATISTICS[test]
+    except KeyError:
+        raise OptionError(
+            f"unknown test {test!r}; available: {', '.join(available_tests())}"
+        ) from None
+    return cls(X, classlabel, na=na, nonpara=nonpara)

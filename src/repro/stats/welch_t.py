@@ -1,0 +1,51 @@
+"""Two-sample Welch t-statistic (``test = "t"``).
+
+The default ``mt.maxT`` statistic: a two-sample t allowing unequal variances
+(Welch), computed per row as::
+
+    t = (mean1 - mean0) / sqrt(var1 / n1 + var0 / n0)
+
+with ``var`` the unbiased sample variance over the row's non-missing samples
+in each class.  Rows where either class has fewer than two valid samples, or
+where the pooled standard error is zero, yield NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+from .base import TestStatistic, TwoSampleMoments
+
+__all__ = ["WelchT"]
+
+
+class WelchT(TestStatistic):
+    name = "t"
+    family = "label"
+
+    def _validate_design(self, labels: np.ndarray) -> None:
+        classes = np.unique(labels)
+        if not np.array_equal(classes, [0, 1]):
+            raise DataError(
+                f"test='t' needs class labels {{0, 1}}, got classes {classes.tolist()}"
+            )
+
+    def _prepare(self, X: np.ndarray, labels: np.ndarray) -> None:
+        self._moments = TwoSampleMoments(X)
+
+    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
+        N1, S1, Q1, N0, S0, Q0 = self._moments.split(encodings)
+        mean1 = S1 / N1
+        mean0 = S0 / N0
+        var1 = (Q1 - S1 * mean1) / (N1 - 1.0)
+        var0 = (Q0 - S0 * mean0) / (N0 - 1.0)
+        # Floating-point cancellation can leave tiny negative variances on
+        # constant rows; clamp so the zero-variance guard below fires instead.
+        np.maximum(var1, 0.0, out=var1)
+        np.maximum(var0, 0.0, out=var0)
+        se = np.sqrt(var1 / N1 + var0 / N0)
+        t = (mean1 - mean0) / se
+        bad = (N1 < 2) | (N0 < 2) | (se == 0.0)
+        t[bad] = np.nan
+        return t

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    block_labels,
+    multiclass_labels,
+    paired_labels,
+    synthetic_blocked,
+    synthetic_expression,
+    synthetic_paired,
+    two_class_labels,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20260612)
+
+
+@pytest.fixture(scope="session")
+def small_two_class():
+    """A small two-class dataset: 40 genes x 12 samples (6 + 6)."""
+    X, truth = synthetic_expression(40, 12, n_class1=6, de_fraction=0.2,
+                                    effect_size=2.5, seed=11)
+    return X, two_class_labels(6, 6), truth
+
+
+@pytest.fixture(scope="session")
+def medium_two_class():
+    """A medium dataset for equivalence tests: 120 genes x 18 samples."""
+    X, truth = synthetic_expression(120, 18, n_class1=9, de_fraction=0.1,
+                                    effect_size=2.0, seed=23)
+    return X, two_class_labels(9, 9), truth
+
+
+@pytest.fixture(scope="session")
+def small_multiclass():
+    """45 genes x 12 samples in 3 classes of 4."""
+    X, _ = synthetic_expression(45, 12, n_class1=4, de_fraction=0.1, seed=31)
+    return X, multiclass_labels([4, 4, 4])
+
+
+@pytest.fixture(scope="session")
+def small_paired():
+    """30 genes x 8 pairs."""
+    X, truth = synthetic_paired(30, 8, de_fraction=0.2, seed=41)
+    return X, paired_labels(8), truth
+
+
+@pytest.fixture(scope="session")
+def small_blocked():
+    """25 genes x (5 blocks x 3 treatments)."""
+    X, truth = synthetic_blocked(25, 5, 3, de_fraction=0.2, seed=51)
+    return X, block_labels(5, 3), truth
+
+
+@pytest.fixture(scope="session")
+def missing_two_class():
+    """Two-class data with ~8% NaN cells."""
+    from repro.data import inject_missing
+
+    X, _ = synthetic_expression(30, 14, n_class1=7, seed=61)
+    return inject_missing(X, 0.08, seed=62), two_class_labels(7, 7)

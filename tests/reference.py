@@ -1,0 +1,233 @@
+"""Brute-force reference implementations for cross-checking.
+
+Everything here is written with explicit Python loops and no shared code
+with ``repro`` beyond NumPy — deliberately slow, deliberately obvious — so
+that agreement between the vectorized library and these functions is
+meaningful evidence of correctness.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Per-row statistics (NA-aware, loop-based)
+# ---------------------------------------------------------------------------
+
+def _clean(row, labels):
+    keep = ~np.isnan(row)
+    return row[keep], np.asarray(labels)[keep]
+
+
+def welch_t_row(row, labels) -> float:
+    x, g = _clean(np.asarray(row, float), labels)
+    a = x[g == 1]
+    b = x[g == 0]
+    if len(a) < 2 or len(b) < 2:
+        return math.nan
+    va = a.var(ddof=1)
+    vb = b.var(ddof=1)
+    se = math.sqrt(va / len(a) + vb / len(b))
+    if se == 0:
+        return math.nan
+    return (a.mean() - b.mean()) / se
+
+
+def equalvar_t_row(row, labels) -> float:
+    x, g = _clean(np.asarray(row, float), labels)
+    a = x[g == 1]
+    b = x[g == 0]
+    if len(a) < 2 or len(b) < 2:
+        return math.nan
+    dof = len(a) + len(b) - 2
+    sp2 = (a.var(ddof=1) * (len(a) - 1) + b.var(ddof=1) * (len(b) - 1)) / dof
+    se = math.sqrt(sp2 * (1 / len(a) + 1 / len(b)))
+    if se == 0:
+        return math.nan
+    return (a.mean() - b.mean()) / se
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    i = 0
+    sorted_vals = values[order]
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        avg = (i + j) / 2 + 1  # ranks are 1-based
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
+    return ranks
+
+
+def wilcoxon_row(row, labels) -> float:
+    x, g = _clean(np.asarray(row, float), labels)
+    n1 = int((g == 1).sum())
+    n0 = int((g == 0).sum())
+    nv = n1 + n0
+    if n1 < 1 or n0 < 1:
+        return math.nan
+    ranks = _average_ranks(x)
+    w = ranks[g == 1].sum()
+    expected = n1 * (nv + 1) / 2
+    sd = math.sqrt(n0 * n1 * (nv + 1) / 12)
+    if sd == 0:
+        return math.nan
+    return (w - expected) / sd
+
+
+def f_row(row, labels) -> float:
+    x, g = _clean(np.asarray(row, float), labels)
+    classes = np.unique(np.asarray(labels))
+    k = len(classes)
+    groups = [x[g == c] for c in classes]
+    if any(len(grp) == 0 for grp in groups):
+        return math.nan
+    nv = len(x)
+    if nv - k < 1:
+        return math.nan
+    grand = x.mean()
+    ss_between = sum(len(grp) * (grp.mean() - grand) ** 2 for grp in groups)
+    ss_within = sum(((grp - grp.mean()) ** 2).sum() for grp in groups)
+    if ss_within == 0:
+        return math.nan
+    return (ss_between / (k - 1)) / (ss_within / (nv - k))
+
+
+def paired_t_row(row, labels, signs) -> float:
+    row = np.asarray(row, float)
+    labels = np.asarray(labels)
+    npairs = len(row) // 2
+    diffs = []
+    for i, s in zip(range(npairs), signs):
+        a, b = row[2 * i], row[2 * i + 1]
+        if math.isnan(a) or math.isnan(b):
+            continue
+        # difference = class1 member - class0 member
+        d = (b - a) if labels[2 * i + 1] == 1 else (a - b)
+        diffs.append(s * d)
+    if len(diffs) < 2:
+        return math.nan
+    d = np.asarray(diffs)
+    se = math.sqrt(d.var(ddof=1) / len(d))
+    if se == 0:
+        return math.nan
+    return d.mean() / se
+
+
+def block_f_row(row, treatment_labels, k) -> float:
+    """Two-way ANOVA F (treatment adjusted for blocks), NA drops blocks."""
+    row = np.asarray(row, float)
+    labels = np.asarray(treatment_labels)
+    nblocks = len(row) // k
+    cells = []
+    for b in range(nblocks):
+        block_vals = row[b * k:(b + 1) * k]
+        block_labs = labels[b * k:(b + 1) * k]
+        if np.isnan(block_vals).any():
+            continue
+        cells.append((block_vals, block_labs))
+    bv = len(cells)
+    if bv < 2:
+        return math.nan
+    values = np.concatenate([c[0] for c in cells])
+    labs = np.concatenate([c[1] for c in cells])
+    grand = values.mean()
+    ss_total = ((values - grand) ** 2).sum()
+    ss_block = sum(len(c[0]) / len(c[0]) * k * (c[0].mean() - grand) ** 2
+                   for c in cells)
+    treat_means = [values[labs == j].mean() for j in range(k)]
+    ss_treat = bv * sum((tm - grand) ** 2 for tm in treat_means)
+    ss_resid = ss_total - ss_block - ss_treat
+    if ss_resid <= 1e-12:
+        return math.nan
+    dof_t = k - 1
+    dof_r = (bv - 1) * (k - 1)
+    return (ss_treat / dof_t) / (ss_resid / dof_r)
+
+
+# ---------------------------------------------------------------------------
+# Naive maxT (Westfall–Young step-down) over explicit permutations
+# ---------------------------------------------------------------------------
+
+def side_score(value: float, side: str) -> float:
+    if math.isnan(value):
+        return -math.inf
+    if side == "abs":
+        return abs(value)
+    if side == "upper":
+        return value
+    return -value
+
+
+def naive_maxt(stat_rows, side: str):
+    """Compute raw/adjusted p-values from explicit per-permutation stats.
+
+    Parameters
+    ----------
+    stat_rows:
+        ``(B, m)`` array: row 0 is the observed statistics, rows 1..B-1 the
+        permuted statistics.
+    side:
+        ``abs``/``upper``/``lower``.
+
+    Returns
+    -------
+    (rawp, adjp):
+        In original hypothesis order, with the step-down monotonicity
+        enforced; NaN for hypotheses with undefined observed statistic.
+    """
+    stat_rows = np.asarray(stat_rows, dtype=float)
+    B, m = stat_rows.shape
+    obs = stat_rows[0]
+    scores_obs = np.array([side_score(v, side) for v in obs])
+    untestable = ~np.isfinite(scores_obs)
+    order = sorted(range(m), key=lambda i: (-scores_obs[i], i))
+
+    # The same tie-tolerant thresholds as repro.core.kernel.TIE_TOLERANCE:
+    # exact ties (identity relabelling etc.) must count regardless of the
+    # last-ulp noise of whichever arithmetic produced the statistics.
+    thresholds = np.array([
+        s - 1e-9 * max(1.0, abs(s)) if math.isfinite(s) else s
+        for s in scores_obs
+    ])
+
+    raw_counts = np.zeros(m, dtype=int)
+    adj_counts = np.zeros(m, dtype=int)
+    for b in range(B):
+        if b == 0:
+            # Observed permutation contributes exactly 1 everywhere.
+            raw_counts += 1
+            adj_counts += 1
+            continue
+        scores = np.array([side_score(v, side) for v in stat_rows[b]])
+        scores[untestable] = -math.inf
+        for i in range(m):
+            if scores[i] >= thresholds[i]:
+                raw_counts[i] += 1
+        # successive maxima along the ordering, bottom-up
+        u = -math.inf
+        u_by_pos = [0.0] * m
+        for pos in range(m - 1, -1, -1):
+            u = max(u, scores[order[pos]])
+            u_by_pos[pos] = u
+        for pos in range(m):
+            if u_by_pos[pos] >= thresholds[order[pos]]:
+                adj_counts[pos] += 1
+
+    rawp = raw_counts / B
+    adj_ordered = adj_counts / B
+    for pos in range(1, m):
+        adj_ordered[pos] = max(adj_ordered[pos], adj_ordered[pos - 1])
+    adjp = np.empty(m)
+    for pos, i in enumerate(order):
+        adjp[i] = adj_ordered[pos]
+    rawp[untestable] = math.nan
+    adjp[untestable] = math.nan
+    return rawp, adjp

@@ -1,0 +1,136 @@
+"""Tests for side adjustment, ordering and p-value assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.adjust import (
+    SIDES,
+    pvalues_from_counts,
+    side_adjust,
+    significance_order,
+    successive_maxima,
+)
+from repro.errors import OptionError
+
+
+class TestSideAdjust:
+    def test_abs(self):
+        np.testing.assert_array_equal(
+            side_adjust(np.array([-3.0, 2.0]), "abs"), [3.0, 2.0])
+
+    def test_upper(self):
+        np.testing.assert_array_equal(
+            side_adjust(np.array([-3.0, 2.0]), "upper"), [-3.0, 2.0])
+
+    def test_lower(self):
+        np.testing.assert_array_equal(
+            side_adjust(np.array([-3.0, 2.0]), "lower"), [3.0, -2.0])
+
+    def test_nan_becomes_minus_inf(self):
+        for side in SIDES:
+            out = side_adjust(np.array([np.nan, 1.0]), side)
+            assert out[0] == -np.inf
+
+    def test_unknown_side(self):
+        with pytest.raises(OptionError):
+            side_adjust(np.array([1.0]), "both")
+
+    def test_does_not_mutate_input(self):
+        x = np.array([-1.0, 2.0])
+        side_adjust(x, "lower")
+        np.testing.assert_array_equal(x, [-1.0, 2.0])
+
+    def test_2d_input(self):
+        X = np.array([[1.0, -2.0], [np.nan, 3.0]])
+        out = side_adjust(X, "abs")
+        np.testing.assert_array_equal(out, [[1.0, 2.0], [-np.inf, 3.0]])
+
+
+class TestOrdering:
+    def test_decreasing(self):
+        scores = np.array([1.0, 5.0, 3.0])
+        np.testing.assert_array_equal(significance_order(scores), [1, 2, 0])
+
+    def test_stable_on_ties(self):
+        scores = np.array([2.0, 5.0, 2.0, 5.0])
+        np.testing.assert_array_equal(significance_order(scores), [1, 3, 0, 2])
+
+    def test_minus_inf_sorts_last(self):
+        scores = np.array([-np.inf, 1.0, -np.inf, 2.0])
+        order = significance_order(scores)
+        np.testing.assert_array_equal(order, [3, 1, 0, 2])
+
+
+class TestSuccessiveMaxima:
+    def test_known_example(self):
+        s = np.array([[1.0], [4.0], [2.0], [3.0]])
+        u = successive_maxima(s)
+        np.testing.assert_array_equal(u[:, 0], [4.0, 4.0, 3.0, 3.0])
+
+    def test_batch_columns_independent(self):
+        s = np.array([[1.0, 9.0], [5.0, 2.0]])
+        u = successive_maxima(s)
+        np.testing.assert_array_equal(u, [[5.0, 9.0], [5.0, 2.0]])
+
+    def test_on_sorted_input_is_identity(self):
+        s = np.array([[5.0], [4.0], [2.0]])
+        np.testing.assert_array_equal(successive_maxima(s), s)
+
+    @given(arrays(np.float64, (6, 3),
+                  elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=40)
+    def test_u_is_suffix_max_property(self, s):
+        u = successive_maxima(s)
+        for j in range(s.shape[1]):
+            for i in range(s.shape[0]):
+                assert u[i, j] == s[i:, j].max()
+
+
+class TestPvalueAssembly:
+    def test_basic(self):
+        raw = np.array([2, 10])
+        order = np.array([0, 1])
+        adj = np.array([3, 5])
+        rawp, adjp = pvalues_from_counts(raw, adj, order, 10)
+        np.testing.assert_allclose(rawp, [0.2, 1.0])
+        np.testing.assert_allclose(adjp, [0.3, 0.5])
+
+    def test_monotonicity_enforced(self):
+        order = np.array([1, 0, 2])
+        adj = np.array([5, 3, 9])  # dips then rises along the ordering
+        rawp, adjp = pvalues_from_counts(np.array([1, 1, 1]), adj, order, 10)
+        # after enforcement: 0.5, 0.5, 0.9 along the ordering
+        assert adjp[1] == 0.5 and adjp[0] == 0.5 and adjp[2] == 0.9
+
+    def test_scatter_back_to_original_order(self):
+        order = np.array([2, 0, 1])
+        adj = np.array([1, 2, 3])
+        _, adjp = pvalues_from_counts(np.array([1, 1, 1]), adj, order, 10)
+        np.testing.assert_allclose(adjp, [0.2, 0.3, 0.1])
+
+    def test_untestable_rows_become_nan(self):
+        order = np.array([0, 1])
+        untestable = np.array([False, True])
+        rawp, adjp = pvalues_from_counts(np.array([1, 2]), np.array([1, 2]),
+                                         order, 10, untestable=untestable)
+        assert np.isnan(rawp[1]) and np.isnan(adjp[1])
+        assert rawp[0] == 0.1
+
+    @given(st.integers(2, 30), st.integers(5, 200), st.data())
+    @settings(max_examples=50)
+    def test_bounds_property(self, m, nperm, data):
+        raw = np.array(data.draw(st.lists(st.integers(1, nperm), min_size=m,
+                                          max_size=m)))
+        adj = np.array(data.draw(st.lists(st.integers(1, nperm), min_size=m,
+                                          max_size=m)))
+        order = np.array(data.draw(st.permutations(range(m))))
+        rawp, adjp = pvalues_from_counts(raw, adj, order, nperm)
+        assert ((rawp >= 1 / nperm) & (rawp <= 1)).all()
+        assert ((adjp >= 1 / nperm) & (adjp <= 1)).all()
+        # monotone along the ordering
+        assert (np.diff(adjp[order]) >= 0).all()

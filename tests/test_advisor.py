@@ -1,0 +1,126 @@
+"""Tests for the capacity-planning advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    compare_platforms,
+    get_platform,
+    parallel_efficiency,
+    predict,
+    recommend_procs,
+    required_procs,
+)
+from repro.errors import ClusterModelError
+
+
+class TestPredict:
+    def test_matches_simulator(self):
+        platform = get_platform("hector")
+        run = predict(platform, 64, rows=6_102, permutations=150_000)
+        assert run.nprocs == 64
+        assert run.total == pytest.approx(13.93, abs=0.5)
+
+    def test_efficiency_definition(self):
+        platform = get_platform("hector")
+        base = predict(platform, 1, rows=6_102, permutations=150_000)
+        run = predict(platform, 2, rows=6_102, permutations=150_000)
+        eff = parallel_efficiency(run, base)
+        assert eff == pytest.approx(run.speedup_vs(base) / 2)
+        assert 0.9 < eff <= 1.0
+
+
+class TestRequiredProcs:
+    def test_finds_minimal_count(self):
+        platform = get_platform("hector")
+        # paper: 150k permutations takes ~52s on 16 and ~27s on 32 cores
+        procs = required_procs(platform, rows=6_102, permutations=150_000,
+                               deadline_seconds=30.0)
+        assert procs == 32
+
+    def test_deadline_trivially_met_serially(self):
+        platform = get_platform("hector")
+        procs = required_procs(platform, rows=6_102, permutations=150_000,
+                               deadline_seconds=10_000.0)
+        assert procs == 1
+
+    def test_impossible_deadline(self):
+        platform = get_platform("quadcore")
+        procs = required_procs(platform, rows=6_102, permutations=150_000,
+                               deadline_seconds=1.0)
+        assert procs is None
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ClusterModelError):
+            required_procs(get_platform("ness"), rows=100,
+                           permutations=100, deadline_seconds=0)
+
+
+class TestRecommendProcs:
+    def test_hector_recommends_full_machine_at_50pct(self):
+        """HECToR stays above 50% efficiency through 512 (paper: 313/512
+        = 61%)."""
+        run = recommend_procs(get_platform("hector"), rows=6_102,
+                              permutations=150_000, min_efficiency=0.5)
+        assert run.nprocs == 512
+
+    def test_stricter_floor_recommends_fewer(self):
+        loose = recommend_procs(get_platform("hector"), rows=6_102,
+                                permutations=150_000, min_efficiency=0.5)
+        strict = recommend_procs(get_platform("hector"), rows=6_102,
+                                 permutations=150_000, min_efficiency=0.9)
+        assert strict.nprocs < loose.nprocs
+
+    def test_ec2_stops_early(self):
+        """EC2's efficiency collapses with instance count (paper: 18.4/32
+        = 57% at 32, but 74% floor stops earlier)."""
+        run = recommend_procs(get_platform("ec2"), rows=6_102,
+                              permutations=150_000, min_efficiency=0.74)
+        assert run.nprocs <= 8
+
+    def test_always_returns_at_least_serial(self):
+        run = recommend_procs(get_platform("quadcore"), rows=100,
+                              permutations=500, min_efficiency=1.0)
+        assert run.nprocs >= 1
+
+    def test_invalid_floor(self):
+        with pytest.raises(ClusterModelError):
+            recommend_procs(get_platform("ness"), rows=10, permutations=10,
+                            min_efficiency=0.0)
+
+
+class TestComparePlatforms:
+    def test_sorted_fastest_first(self):
+        advice = compare_platforms(rows=6_102, permutations=150_000,
+                                   deadline_seconds=60.0)
+        times = [a.best_seconds for a in advice]
+        assert times == sorted(times)
+        assert advice[0].platform == "hector"
+
+    def test_deadline_partition(self):
+        """A 60 s deadline on the paper workload: supercomputer and big
+        cluster yes; desktop-class machines no."""
+        advice = {a.platform: a
+                  for a in compare_platforms(rows=6_102,
+                                             permutations=150_000,
+                                             deadline_seconds=60.0)}
+        assert advice["hector"].meets_deadline()
+        assert advice["ecdf"].meets_deadline()
+        assert not advice["quadcore"].meets_deadline()
+        assert not advice["ness"].meets_deadline()
+
+    def test_everyone_meets_generous_deadline(self):
+        advice = compare_platforms(rows=6_102, permutations=150_000,
+                                   deadline_seconds=10_000.0)
+        assert all(a.meets_deadline() for a in advice)
+        assert all(a.procs_for_deadline == 1 for a in advice)
+
+    def test_scale_up_story(self):
+        """The paper's conclusion: refine small, then scale to HECToR."""
+        small = compare_platforms(rows=500, permutations=5_000,
+                                  deadline_seconds=120.0)
+        by_name = {a.platform: a for a in small}
+        # a refinement-sized workload fits the desktop…
+        assert by_name["quadcore"].meets_deadline()
+        # …while the production workload needs the big machines (above)

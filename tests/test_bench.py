@@ -1,0 +1,196 @@
+"""Tests for the benchmark harness: tables, figures, report, runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCH_B,
+    PROFILE_TABLES,
+    TABLE_PLATFORMS,
+    build_report,
+    measured_workload,
+    profile_table_rows,
+    render_figure2,
+    render_figure3,
+    render_table,
+    render_table6,
+    run_parallel,
+    run_serial,
+    speedup_series,
+)
+from repro.bench.paper import TABLE6_BIGDATA
+
+
+class TestPaperConstants:
+    def test_workload_constants(self):
+        assert BENCH_B == 150_000
+
+    def test_five_profile_tables(self):
+        assert set(PROFILE_TABLES) == {"hector", "ecdf", "ec2", "ness",
+                                       "quadcore"}
+
+    def test_row_lookup(self):
+        assert PROFILE_TABLES["hector"].row_for(512).main_kernel == 1.633
+        with pytest.raises(KeyError):
+            PROFILE_TABLES["ness"].row_for(32)
+
+    def test_row_total(self):
+        row = PROFILE_TABLES["hector"].row_for(1)
+        assert row.total == pytest.approx(0.260 + 0.001 + 0.010 + 795.600
+                                          + 0.002)
+
+    def test_table6_six_rows(self):
+        assert len(TABLE6_BIGDATA) == 6
+        assert {r.n_genes for r in TABLE6_BIGDATA} == {36_612, 73_224}
+
+    def test_proc_counts_match_paper(self):
+        assert PROFILE_TABLES["hector"].proc_counts == (
+            1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+        assert PROFILE_TABLES["quadcore"].proc_counts == (1, 2, 4)
+
+
+class TestTables:
+    def test_rows_for_every_platform(self):
+        for number, name in TABLE_PLATFORMS.items():
+            rows = profile_table_rows(name)
+            assert [r.procs for r in rows] == \
+                list(PROFILE_TABLES[name].proc_counts)
+            assert rows[0].speedup_total == pytest.approx(1.0)
+
+    def test_render_table_contains_all_rows(self):
+        text = render_table(1)
+        for procs in PROFILE_TABLES["hector"].proc_counts:
+            assert f"\n{procs:>5} " in text
+
+    def test_render_table_with_paper_rows(self):
+        text = render_table(2, include_paper=True)
+        assert "paper" in text
+        assert "467.273" in text  # ECDF kernel(1)
+
+    def test_render_table6(self):
+        text = render_table6()
+        assert "36612" in text.replace(" ", "") or "36 612" in text \
+            or "36612" in text
+        assert "500,000" in text
+
+    def test_render_table6_with_paper(self):
+        text = render_table6(include_paper=True)
+        assert "73.18" in text
+
+    def test_cli_main(self, capsys):
+        from repro.bench.tables import main
+
+        assert main(["--table", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out and "Quad-core" in out
+
+
+class TestFigures:
+    def test_figure2_default_is_paper_drawing(self):
+        text = render_figure2()
+        assert "23 permutations over 3 processes" in text
+        assert "rank 0: 1 2 3 4 5 6 7 8" in text
+        assert "1(skip) 9" in text
+        assert "1(skip) 17" in text
+
+    def test_figure2_custom(self):
+        text = render_figure2(10, 2)
+        assert "rank 1" in text and "rank 2" not in text
+
+    def test_speedup_series_platforms(self):
+        series = speedup_series("total")
+        assert set(series) == {"hector", "ecdf", "ec2", "ness", "quadcore",
+                               "optimal"}
+        assert series["optimal"][-1] == (512, 512.0)
+
+    def test_speedup_series_kernel(self):
+        series = speedup_series("kernel")
+        hector = dict(series["hector"])
+        assert hector[512] > 450
+
+    def test_speedup_series_bad_kind(self):
+        with pytest.raises(ValueError):
+            speedup_series("latency")
+
+    def test_figure3_renders(self):
+        text = render_figure3()
+        assert "Figure 3" in text
+        assert "legend" in text
+        assert "HECToR" in text
+
+    def test_cli_main(self, capsys):
+        from repro.bench.figures import main
+
+        assert main(["--figure", "2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report()
+
+    def test_all_tables_present(self, report):
+        for roman in ("Table I ", "Table II ", "Table III ", "Table IV ",
+                      "Table V ", "Table VI "):
+            assert roman in report
+
+    def test_figures_present(self, report):
+        assert "Figure 1" in report
+        assert "Figure 2" in report
+        assert "Figure 3" in report
+
+    def test_shape_checks_all_pass(self, report):
+        assert "FAIL" not in report
+        assert report.count("PASS") >= 8
+
+    def test_known_residuals_documented(self, report):
+        assert "Known residuals" in report
+        assert "ECDF P=128" in report
+
+    def test_cli_writes_file(self, tmp_path):
+        from repro.bench.report import main
+
+        out = tmp_path / "exp.md"
+        assert main(["-o", str(out)]) == 0
+        assert out.read_text().startswith("# EXPERIMENTS")
+
+
+class TestMeasuredRunners:
+    @pytest.mark.parametrize("test", ["t", "t.equalvar", "wilcoxon", "f",
+                                      "pairt", "blockf"])
+    def test_workloads_run(self, test):
+        work = measured_workload(test, n_genes=40, n_samples=12, B=60)
+        res = run_serial(work)
+        assert res.nperm == 60
+        assert res.m == 40
+
+    def test_parallel_runner_matches_serial(self):
+        work = measured_workload("t", n_genes=50, n_samples=16, B=100)
+        serial = run_serial(work)
+        parallel = run_parallel(work, 3)
+        np.testing.assert_array_equal(serial.rawp, parallel.rawp)
+        np.testing.assert_array_equal(serial.adjp, parallel.adjp)
+
+    def test_workload_metadata(self):
+        work = measured_workload("t", n_genes=30, n_samples=10, B=50)
+        assert work.m == 30 and work.n == 10
+        assert "t-30x10-B50" == work.name
+
+    def test_throughput_metric(self):
+        from repro.bench.runner import kernel_permutations_per_second
+
+        work = measured_workload("t", n_genes=30, n_samples=10, B=50)
+        result = run_parallel(work, 1)  # pmaxT populates the profile
+        assert kernel_permutations_per_second(result) > 0
+
+    def test_throughput_metric_without_profile(self):
+        import math
+
+        from repro.bench.runner import kernel_permutations_per_second
+
+        work = measured_workload("t", n_genes=20, n_samples=10, B=40)
+        result = run_serial(work)  # mt_maxT carries no profile
+        assert math.isnan(kernel_permutations_per_second(result))

@@ -1,0 +1,185 @@
+"""Tests for kernel checkpointing and restart (future-work item 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mt_maxT, pmaxT
+from repro.core.checkpoint import (
+    CheckpointStore,
+    problem_fingerprint,
+    run_kernel_resumable,
+)
+from repro.core.kernel import compute_observed, run_kernel
+from repro.core.options import build_generator, build_statistic, validate_options
+from repro.data import synthetic_expression, two_class_labels
+from repro.errors import DataError
+from repro.mpi import run_spmd
+
+
+@pytest.fixture()
+def problem():
+    X, _ = synthetic_expression(25, 12, n_class1=6, seed=91)
+    labels = two_class_labels(6, 6)
+    options = validate_options(labels, B=400, seed=13)
+    stat = build_statistic(options, X, labels)
+    gen = build_generator(options, labels)
+    observed = compute_observed(stat, options.side)
+    fp = problem_fingerprint(X, labels, options, 0, options.nperm)
+    return X, labels, options, stat, gen, observed, fp
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        X, _ = synthetic_expression(10, 8, n_class1=4, seed=1)
+        labels = two_class_labels(4, 4)
+        o = validate_options(labels, B=50)
+        assert problem_fingerprint(X, labels, o, 0, 50) == \
+            problem_fingerprint(X, labels, o, 0, 50)
+
+    def test_sensitive_to_everything(self):
+        X, _ = synthetic_expression(10, 8, n_class1=4, seed=1)
+        labels = two_class_labels(4, 4)
+        o = validate_options(labels, B=50)
+        base = problem_fingerprint(X, labels, o, 0, 50)
+        # data
+        X2 = X.copy()
+        X2[0, 0] += 1e-9
+        assert problem_fingerprint(X2, labels, o, 0, 50) != base
+        # seed
+        o2 = validate_options(labels, B=50, seed=999)
+        assert problem_fingerprint(X, labels, o2, 0, 50) != base
+        # chunk
+        assert problem_fingerprint(X, labels, o, 10, 40) != base
+        # side
+        o3 = validate_options(labels, B=50, side="upper")
+        assert problem_fingerprint(X, labels, o3, 0, 50) != base
+
+
+class TestStore:
+    def test_save_load_roundtrip(self, tmp_path, problem):
+        *_, observed, fp = problem
+        from repro.core.kernel import KernelCounts
+
+        counts = KernelCounts(raw=np.arange(25), adjusted=np.arange(25) * 2,
+                              nperm=7)
+        store = CheckpointStore(tmp_path, rank=0)
+        store.save(fp, 7, counts)
+        state = store.load(fp)
+        assert state.position == 7
+        np.testing.assert_array_equal(state.counts.raw, counts.raw)
+        np.testing.assert_array_equal(state.counts.adjusted, counts.adjusted)
+        assert state.counts.nperm == 7
+
+    def test_load_missing_returns_none(self, tmp_path, problem):
+        *_, fp = problem
+        assert CheckpointStore(tmp_path).load(fp) is None
+
+    def test_wrong_fingerprint_refused(self, tmp_path, problem):
+        *_, observed, fp = problem
+        from repro.core.kernel import KernelCounts
+
+        store = CheckpointStore(tmp_path)
+        store.save(fp, 1, KernelCounts.zeros(25))
+        with pytest.raises(DataError, match="different problem"):
+            store.load("deadbeef" * 8)
+
+    def test_clear(self, tmp_path, problem):
+        *_, fp = problem
+        from repro.core.kernel import KernelCounts
+
+        store = CheckpointStore(tmp_path)
+        store.save(fp, 1, KernelCounts.zeros(25))
+        store.clear()
+        assert store.load(fp) is None
+        store.clear()  # idempotent
+
+    def test_per_rank_files(self, tmp_path):
+        a = CheckpointStore(tmp_path, rank=0)
+        b = CheckpointStore(tmp_path, rank=1)
+        assert a.path != b.path
+
+
+class TestResumableKernel:
+    def test_uninterrupted_matches_plain(self, tmp_path, problem):
+        _, _, options, stat, gen, observed, fp = problem
+        plain = run_kernel(stat, gen, observed, options.side, 0,
+                           options.nperm)
+        store = CheckpointStore(tmp_path)
+        resumable = run_kernel_resumable(
+            stat, gen, observed, options.side, 0, options.nperm,
+            store=store, fingerprint=fp, interval=64)
+        np.testing.assert_array_equal(plain.raw, resumable.raw)
+        np.testing.assert_array_equal(plain.adjusted, resumable.adjusted)
+        assert store.saves > 1  # actually checkpointed along the way
+
+    @pytest.mark.parametrize("fail_after", [1, 63, 64, 150, 399])
+    def test_crash_and_resume_identical(self, tmp_path, problem, fail_after):
+        """The headline property: crash anywhere, resume, same answer."""
+        _, _, options, stat, gen, observed, fp = problem
+        plain = run_kernel(stat, gen, observed, options.side, 0,
+                           options.nperm)
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_kernel_resumable(
+                stat, gen, observed, options.side, 0, options.nperm,
+                store=store, fingerprint=fp, interval=64,
+                fail_after=fail_after)
+        # restart: resumes from the checkpoint, not from zero
+        resumed = run_kernel_resumable(
+            stat, gen, observed, options.side, 0, options.nperm,
+            store=store, fingerprint=fp, interval=64)
+        np.testing.assert_array_equal(plain.raw, resumed.raw)
+        np.testing.assert_array_equal(plain.adjusted, resumed.adjusted)
+        assert resumed.nperm == options.nperm
+
+    def test_double_crash_resume(self, tmp_path, problem):
+        _, _, options, stat, gen, observed, fp = problem
+        plain = run_kernel(stat, gen, observed, options.side, 0,
+                           options.nperm)
+        store = CheckpointStore(tmp_path)
+        for fail_after in (100, 90):
+            with pytest.raises(RuntimeError):
+                run_kernel_resumable(
+                    stat, gen, observed, options.side, 0, options.nperm,
+                    store=store, fingerprint=fp, interval=32,
+                    fail_after=fail_after)
+        resumed = run_kernel_resumable(
+            stat, gen, observed, options.side, 0, options.nperm,
+            store=store, fingerprint=fp, interval=32)
+        np.testing.assert_array_equal(plain.raw, resumed.raw)
+
+    def test_bad_interval(self, tmp_path, problem):
+        _, _, options, stat, gen, observed, fp = problem
+        with pytest.raises(DataError):
+            run_kernel_resumable(
+                stat, gen, observed, options.side, 0, 10,
+                store=CheckpointStore(tmp_path), fingerprint=fp, interval=0)
+
+
+class TestPmaxTIntegration:
+    def test_checkpointed_run_matches_plain(self, tmp_path):
+        X, _ = synthetic_expression(30, 12, n_class1=6, seed=92)
+        labels = two_class_labels(6, 6)
+        plain = mt_maxT(X, labels, B=200, seed=21)
+        res = pmaxT(X, labels, B=200, seed=21,
+                    checkpoint_dir=str(tmp_path), checkpoint_interval=50)
+        np.testing.assert_array_equal(plain.rawp, res.rawp)
+        np.testing.assert_array_equal(plain.adjp, res.adjp)
+        # successful run clears its checkpoint
+        assert not any(tmp_path.glob("rank*.npz"))
+
+    def test_parallel_checkpointed_matches_serial(self, tmp_path):
+        X, _ = synthetic_expression(30, 12, n_class1=6, seed=93)
+        labels = two_class_labels(6, 6)
+        serial = mt_maxT(X, labels, B=150, seed=22)
+
+        def job(comm):
+            return pmaxT(X, labels, B=150, seed=22, comm=comm,
+                         checkpoint_dir=str(tmp_path),
+                         checkpoint_interval=40)
+
+        parallel = run_spmd(job, 3)[0]
+        np.testing.assert_array_equal(serial.rawp, parallel.rawp)
+        np.testing.assert_array_equal(serial.adjp, parallel.adjp)

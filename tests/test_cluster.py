@@ -1,0 +1,207 @@
+"""Tests for the machine/network models, calibration and platform presets."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.paper import BENCH_B, BENCH_GENES, PROFILE_TABLES
+from repro.cluster import (
+    PLATFORM_NAMES,
+    SERIAL_R_MODEL,
+    CollectiveModel,
+    MachineSpec,
+    all_platforms,
+    fit_collectives,
+    fit_machine,
+    get_platform,
+)
+from repro.errors import ClusterModelError
+
+
+class TestMachineSpec:
+    @pytest.fixture
+    def spec(self):
+        return MachineSpec(name="toy", cores_per_domain=4, max_procs=64,
+                           perm_cost=0.005, ref_rows=1000, pre_cost=0.1,
+                           contention={2: 1.02, 4: 1.10})
+
+    def test_occupancy_packed(self, spec):
+        assert spec.occupancy(1) == 1
+        assert spec.occupancy(3) == 3
+        assert spec.occupancy(16) == 4
+
+    def test_n_domains(self, spec):
+        assert spec.n_domains(1) == 1
+        assert spec.n_domains(4) == 1
+        assert spec.n_domains(5) == 2
+        assert spec.n_domains(64) == 16
+
+    def test_contention_exact_points(self, spec):
+        assert spec.contention_factor(1) == 1.0
+        assert spec.contention_factor(2) == 1.02
+        assert spec.contention_factor(4) == 1.10
+
+    def test_contention_saturates_beyond_domain(self, spec):
+        assert spec.contention_factor(64) == spec.contention_factor(4)
+
+    def test_contention_interpolates(self, spec):
+        f3 = spec.contention_factor(3)
+        assert 1.02 < f3 < 1.10
+
+    def test_kernel_scales_linearly_in_rows(self, spec):
+        t1 = spec.kernel_seconds(100, 1000, 1)
+        t2 = spec.kernel_seconds(100, 2000, 1)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_kernel_scales_linearly_in_perms(self, spec):
+        t1 = spec.kernel_seconds(100, 1000, 1)
+        t2 = spec.kernel_seconds(300, 1000, 1)
+        assert t2 == pytest.approx(3 * t1)
+
+    def test_pre_scales_with_rows(self, spec):
+        assert spec.pre_seconds(2000) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ClusterModelError):
+            MachineSpec("x", 0, 1, 1.0, 10, 0.1)
+        with pytest.raises(ClusterModelError):
+            MachineSpec("x", 2, 1, -1.0, 10, 0.1)
+        with pytest.raises(ClusterModelError):
+            MachineSpec("x", 2, 1, 1.0, 10, 0.1, contention={2: 0.5})
+
+    def test_kernel_invalid_workload(self, spec):
+        with pytest.raises(ClusterModelError):
+            spec.kernel_seconds(-1, 100, 1)
+
+
+class TestCollectiveModel:
+    @pytest.fixture
+    def model(self):
+        return CollectiveModel(bcast_base=0.001, bcast_intra=0.002,
+                               bcast_inter=0.05, create_base=0.01,
+                               create_stage=0.001, pvalues_base=0.5,
+                               pvalues_inter=0.2, ref_rows=1000)
+
+    def test_bcast_single_rank(self, model):
+        assert model.bcast_seconds(1, 4) == pytest.approx(0.001)
+
+    def test_bcast_grows_with_stages(self, model):
+        t4 = model.bcast_seconds(4, 4)
+        t16 = model.bcast_seconds(16, 4)
+        assert t16 > t4  # inter-domain stages added
+
+    def test_pvalues_zero_serial(self, model):
+        assert model.pvalues_seconds(1, 4, 1000) == 0.0
+
+    def test_pvalues_floor_plus_slope(self, model):
+        assert model.pvalues_seconds(2, 4, 1000) == pytest.approx(0.5)
+        t16 = model.pvalues_seconds(16, 4, 1000)
+        assert t16 == pytest.approx(0.5 + 0.2 * 2)
+
+    def test_pvalues_message_scales_with_rows(self, model):
+        small = model.pvalues_seconds(16, 4, 1000)
+        big = model.pvalues_seconds(16, 4, 2000)
+        assert big > small
+
+    def test_create_scales_with_rows(self, model):
+        assert model.create_seconds(1, 2000) == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ClusterModelError):
+            CollectiveModel(0, 0, 0, 0, 0, 0, 0, ref_rows=0)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", PLATFORM_NAMES)
+    def test_perm_cost_anchored_to_p1(self, name):
+        table = PROFILE_TABLES[name]
+        plat = get_platform(name)
+        expected = table.row_for(1).main_kernel / BENCH_B
+        assert plat.machine.perm_cost == pytest.approx(expected)
+
+    @pytest.mark.parametrize("name", PLATFORM_NAMES)
+    def test_contention_factors_at_least_one(self, name):
+        plat = get_platform(name)
+        assert all(f >= 1.0 for f in plat.machine.contention.values())
+
+    def test_ecdf_contention_jumps_at_full_node(self):
+        machine = get_platform("ecdf").machine
+        assert machine.contention[8] > machine.contention[4] + 0.2
+
+    def test_ec2_contention_jumps_at_full_instance(self):
+        machine = get_platform("ec2").machine
+        assert machine.contention[4] > machine.contention[2] + 0.15
+
+    def test_hector_contention_small(self):
+        machine = get_platform("hector").machine
+        assert all(f < 1.08 for f in machine.contention.values())
+
+    def test_ness_full_box_penalty(self):
+        machine = get_platform("ness").machine
+        assert machine.contention[16] > 1.4
+
+    def test_ec2_inter_domain_broadcast_huge(self):
+        ec2 = get_platform("ec2").collectives
+        hector = get_platform("hector").collectives
+        assert ec2.bcast_inter > 100 * max(hector.bcast_inter, 1e-4)
+
+    def test_fit_machine_contention_grouped_by_occupancy(self):
+        table = PROFILE_TABLES["hector"]
+        machine = fit_machine(table, 4, 512)
+        # occupancies seen: 2 and 4 (P >= 4 all share occupancy 4)
+        assert set(machine.contention) == {2, 4}
+
+    def test_fit_collectives_nonnegative(self):
+        for name in PLATFORM_NAMES:
+            model = fit_collectives(PROFILE_TABLES[name], 8)
+            assert model.bcast_base >= 0
+            assert model.bcast_intra >= 0
+            assert model.bcast_inter >= 0
+            assert model.pvalues_base >= 0
+            assert model.pvalues_inter >= 0
+
+
+class TestSerialRModel:
+    def test_anchors_reproduced_exactly(self):
+        """The fit is an exact 2x2 solve on the paper's 500k rows."""
+        assert SERIAL_R_MODEL.seconds(500_000, 36_612) == pytest.approx(20_750)
+        assert SERIAL_R_MODEL.seconds(500_000, 73_224) == pytest.approx(35_000)
+
+    def test_linear_in_permutations(self):
+        # the remaining four Table VI serial rows are linear extrapolations
+        assert SERIAL_R_MODEL.seconds(1_000_000, 36_612) == pytest.approx(41_500)
+        assert SERIAL_R_MODEL.seconds(2_000_000, 73_224) == pytest.approx(140_000)
+
+    def test_positive_coefficients(self):
+        assert SERIAL_R_MODEL.per_permutation > 0
+        assert SERIAL_R_MODEL.per_row > 0
+
+    def test_invalid_workload(self):
+        with pytest.raises(ClusterModelError):
+            SERIAL_R_MODEL.seconds(100, 0)
+
+
+class TestPlatformPresets:
+    def test_all_five_exist(self):
+        assert len(all_platforms()) == 5
+        assert tuple(p.name for p in all_platforms()) == PLATFORM_NAMES
+
+    def test_max_procs_match_paper_ranges(self):
+        expected = {"hector": 512, "ecdf": 128, "ec2": 32, "ness": 16,
+                    "quadcore": 4}
+        for name, procs in expected.items():
+            assert get_platform(name).max_procs == procs
+
+    def test_unknown_platform(self):
+        with pytest.raises(ClusterModelError):
+            get_platform("bluegene")
+
+    def test_validate_procs(self):
+        with pytest.raises(ClusterModelError):
+            get_platform("quadcore").validate_procs(8)
+
+    def test_platforms_cached(self):
+        assert get_platform("hector") is get_platform("hector")

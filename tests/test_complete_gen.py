@@ -1,0 +1,205 @@
+"""Tests for the complete-enumeration generators."""
+
+from __future__ import annotations
+
+from itertools import permutations
+from math import comb, factorial
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import block_labels, multiclass_labels, paired_labels, two_class_labels
+from repro.errors import CompletePermutationOverflow, PermutationError
+from repro.permute.complete import (
+    CompleteBlock,
+    CompleteMulticlass,
+    CompleteSigns,
+    CompleteTwoSample,
+)
+
+
+def _all(gen):
+    gen.reset()
+    return [tuple(e) for e in gen.take()]
+
+
+class TestTwoSample:
+    def test_count(self):
+        gen = CompleteTwoSample(two_class_labels(3, 2))
+        assert gen.nperm == comb(5, 2)
+
+    def test_index_zero_is_observed(self):
+        labels = two_class_labels(3, 2)
+        gen = CompleteTwoSample(labels)
+        assert np.array_equal(gen.at(0), labels)
+
+    def test_enumeration_is_exactly_the_group(self):
+        labels = two_class_labels(4, 2)
+        gen = CompleteTwoSample(labels)
+        seen = set(_all(gen))
+        expected = set(permutations([0, 0, 0, 0, 1, 1]))
+        assert seen == expected
+        assert len(seen) == gen.nperm  # no duplicates
+
+    def test_observed_appears_exactly_once(self):
+        labels = two_class_labels(3, 3)
+        gen = CompleteTwoSample(labels)
+        observed = tuple(labels)
+        assert _all(gen).count(observed) == 1
+
+    def test_swap_reindexing_bijective(self):
+        # Observed labelling 000111 has a non-zero lexicographic rank, so
+        # the transposition is non-trivial and must remain a bijection.
+        labels = two_class_labels(3, 3)
+        gen = CompleteTwoSample(labels)
+        all_encs = _all(gen)
+        assert len(set(all_encs)) == gen.nperm
+
+    def test_skip_equals_slice(self):
+        labels = two_class_labels(4, 3)
+        gen = CompleteTwoSample(labels)
+        full = _all(gen)
+        gen.reset()
+        gen.skip(10)
+        assert [tuple(e) for e in gen.take()] == full[10:]
+
+    def test_overflow_guard(self):
+        with pytest.raises(CompletePermutationOverflow):
+            CompleteTwoSample(two_class_labels(3, 3), limit=10)
+
+    @given(st.integers(2, 5), st.integers(1, 4))
+    @settings(max_examples=30)
+    def test_partition_covers_group_property(self, n0, n1):
+        labels = two_class_labels(n0, n1)
+        gen = CompleteTwoSample(labels)
+        total = gen.nperm
+        # split into 3 chunks and re-collect
+        cut1, cut2 = total // 3, 2 * total // 3
+        pieces = []
+        for start, stop in [(0, cut1), (cut1, cut2), (cut2, total)]:
+            gen.reset()
+            gen.skip(start)
+            pieces.extend(tuple(e) for e in gen.take(stop - start))
+        assert len(pieces) == total
+        assert len(set(pieces)) == total
+
+
+class TestMulticlass:
+    def test_count_and_uniqueness(self):
+        labels = multiclass_labels([2, 2, 1])
+        gen = CompleteMulticlass(labels)
+        encs = _all(gen)
+        assert len(encs) == 30
+        assert len(set(encs)) == 30
+
+    def test_index_zero_is_observed(self):
+        labels = multiclass_labels([2, 1, 2])
+        gen = CompleteMulticlass(labels)
+        assert np.array_equal(gen.at(0), labels)
+
+    def test_class_counts_invariant(self):
+        labels = multiclass_labels([3, 2, 2])
+        gen = CompleteMulticlass(labels)
+        for enc in gen.take(20):
+            assert np.bincount(enc, minlength=3).tolist() == [3, 2, 2]
+
+
+class TestSigns:
+    def test_count(self):
+        gen = CompleteSigns(5)
+        assert gen.nperm == 32
+
+    def test_index_zero_identity(self):
+        gen = CompleteSigns(4)
+        assert np.array_equal(gen.at(0), np.ones(4, dtype=np.int64))
+
+    def test_covers_all_masks(self):
+        gen = CompleteSigns(4)
+        assert len(set(_all(gen))) == 16
+
+    def test_from_classlabel(self):
+        gen = CompleteSigns.from_classlabel(paired_labels(5))
+        assert gen.nperm == 32 and gen.width == 5
+
+    def test_overflow(self):
+        with pytest.raises(CompletePermutationOverflow):
+            CompleteSigns(40)
+
+    def test_invalid_npairs(self):
+        with pytest.raises(PermutationError):
+            CompleteSigns(0)
+
+
+class TestBlock:
+    def test_count(self):
+        labels = block_labels(3, 3)
+        gen = CompleteBlock(labels, 3)
+        assert gen.nperm == 6**3
+
+    def test_index_zero_is_observed_shuffled_layout(self):
+        labels = block_labels(4, 3, seed=13)
+        gen = CompleteBlock(labels, 3)
+        assert np.array_equal(gen.at(0), labels)
+
+    def test_every_block_is_a_permutation(self):
+        labels = block_labels(3, 3)
+        gen = CompleteBlock(labels, 3)
+        for enc in gen.take(50):
+            blocks = enc.reshape(3, 3)
+            assert (np.sort(blocks, axis=1) == np.arange(3)).all()
+
+    def test_enumeration_unique_and_complete(self):
+        labels = block_labels(2, 3)
+        gen = CompleteBlock(labels, 3)
+        encs = set(_all(gen))
+        assert len(encs) == 36
+        expected = {
+            tuple(list(p) + list(q))
+            for p in permutations(range(3))
+            for q in permutations(range(3))
+        }
+        assert encs == expected
+
+    def test_mixed_radix_ordering(self):
+        # With observed = identity, index 1 should change the LAST block
+        # (least-significant digit).
+        labels = block_labels(2, 2)  # 0 1 0 1
+        gen = CompleteBlock(labels, 2)
+        assert tuple(gen.at(0)) == (0, 1, 0, 1)
+        assert tuple(gen.at(1)) == (0, 1, 1, 0)
+        assert tuple(gen.at(2)) == (1, 0, 0, 1)
+        assert tuple(gen.at(3)) == (1, 0, 1, 0)
+
+    def test_bad_k(self):
+        with pytest.raises(PermutationError):
+            CompleteBlock(block_labels(2, 3), 2)
+
+
+class TestGeneratorBaseContract:
+    def test_at_out_of_range(self):
+        gen = CompleteSigns(3)
+        with pytest.raises(PermutationError):
+            gen.at(8)
+        with pytest.raises(PermutationError):
+            gen.at(-1)
+
+    def test_position_tracking(self):
+        gen = CompleteSigns(3)
+        assert gen.position == 0
+        list(gen.take(3))
+        assert gen.position == 3
+        gen.skip(2)
+        assert gen.position == 5
+        gen.reset()
+        assert gen.position == 0
+
+    def test_negative_skip(self):
+        gen = CompleteSigns(3)
+        with pytest.raises(PermutationError):
+            gen.skip(-1)
+
+    def test_repr_mentions_state(self):
+        gen = CompleteSigns(3)
+        assert "nperm=8" in repr(gen)

@@ -1,0 +1,168 @@
+"""Tests for the correlation functions (serial cor, parallel pcor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corr import cor, pcor, row_block
+from repro.data import inject_missing, synthetic_expression
+from repro.errors import DataError
+from repro.mpi import run_spmd
+from repro.stats import MT_NA_NUM
+
+
+@pytest.fixture(scope="module")
+def X():
+    rng = np.random.default_rng(301)
+    return rng.normal(size=(25, 30))
+
+
+class TestSerialCor:
+    def test_matches_corrcoef(self, X):
+        np.testing.assert_allclose(cor(X), np.corrcoef(X), rtol=1e-12,
+                                   atol=1e-12)
+
+    def test_diagonal_ones(self, X):
+        np.testing.assert_allclose(np.diag(cor(X)), 1.0, rtol=1e-12)
+
+    def test_symmetric(self, X):
+        R = cor(X)
+        np.testing.assert_allclose(R, R.T, rtol=1e-12, atol=1e-14)
+
+    def test_bounded(self, X):
+        R = cor(X)
+        assert (np.abs(R) <= 1.0).all()
+
+    def test_cross_correlation(self, X):
+        Y = np.random.default_rng(302).normal(size=(7, 30))
+        R = cor(X, Y)
+        assert R.shape == (25, 7)
+        full = np.corrcoef(np.vstack([X, Y]))
+        np.testing.assert_allclose(R, full[:25, 25:], rtol=1e-10, atol=1e-12)
+
+    def test_perfect_correlation(self):
+        X = np.vstack([np.arange(10.0), 2 * np.arange(10.0) + 5,
+                       -np.arange(10.0)])
+        R = cor(X)
+        assert R[0, 1] == pytest.approx(1.0)
+        assert R[0, 2] == pytest.approx(-1.0)
+
+    def test_constant_row_nan(self):
+        X = np.vstack([np.ones(8), np.arange(8.0)])
+        R = cor(X)
+        assert np.isnan(R[0, 1]) and np.isnan(R[0, 0])
+        assert R[1, 1] == pytest.approx(1.0)
+
+    def test_everything_propagates_nan(self, X):
+        Xm = X.copy()
+        Xm[3, 5] = np.nan
+        R = cor(Xm, use="everything")
+        assert np.isnan(R[3]).all()
+        assert not np.isnan(R[0, 1])
+
+    def test_complete_drops_columns(self, X):
+        Xm = X.copy()
+        Xm[3, 5] = np.nan
+        R = cor(Xm, use="complete")
+        ref = cor(np.delete(Xm, 5, axis=1))
+        np.testing.assert_allclose(R, ref, rtol=1e-12, atol=1e-14)
+
+    def test_pairwise_matches_bruteforce(self):
+        rng = np.random.default_rng(303)
+        Xm = inject_missing(rng.normal(size=(10, 20)), 0.15, seed=304)
+        R = cor(Xm, use="pairwise")
+        for i in range(10):
+            for j in range(10):
+                both = ~np.isnan(Xm[i]) & ~np.isnan(Xm[j])
+                if both.sum() < 2:
+                    assert np.isnan(R[i, j])
+                    continue
+                a, b = Xm[i, both], Xm[j, both]
+                if a.std() == 0 or b.std() == 0:
+                    assert np.isnan(R[i, j])
+                    continue
+                ref = np.corrcoef(a, b)[0, 1]
+                assert R[i, j] == pytest.approx(ref, rel=1e-9), (i, j)
+
+    def test_pairwise_without_missing_equals_dense(self, X):
+        np.testing.assert_allclose(cor(X, use="pairwise"), cor(X),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_na_code(self, X):
+        Xm = X.copy()
+        Xm[2, 4] = MT_NA_NUM
+        R = cor(Xm, use="pairwise", na=MT_NA_NUM)
+        Xn = X.copy()
+        Xn[2, 4] = np.nan
+        np.testing.assert_allclose(R, cor(Xn, use="pairwise"),
+                                   rtol=1e-12, atol=1e-14, equal_nan=True)
+
+    def test_validates(self, X):
+        with pytest.raises(DataError):
+            cor(X, use="sometimes")
+        with pytest.raises(DataError):
+            cor(X, np.zeros((3, 5)))
+        with pytest.raises(DataError):
+            cor(np.zeros((3, 1)))
+
+
+class TestRowBlock:
+    def test_covers_all_rows(self):
+        m, size = 103, 7
+        rows = []
+        for r in range(size):
+            start, count = row_block(m, r, size)
+            rows.extend(range(start, start + count))
+        assert rows == list(range(m))
+
+    def test_balanced(self):
+        counts = [row_block(100, r, 8)[1] for r in range(8)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestParallelPcor:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 5])
+    def test_matches_serial(self, X, nprocs):
+        serial = cor(X)
+        results = run_spmd(lambda comm: pcor(X, comm=comm), nprocs)
+        np.testing.assert_allclose(results[0], serial, rtol=1e-12,
+                                   atol=1e-14)
+        assert all(r is None for r in results[1:])
+
+    def test_pairwise_parallel(self):
+        rng = np.random.default_rng(305)
+        Xm = inject_missing(rng.normal(size=(20, 16)), 0.1, seed=306)
+        serial = cor(Xm, use="pairwise")
+        out = run_spmd(lambda c: pcor(Xm, use="pairwise", comm=c), 3)[0]
+        np.testing.assert_allclose(out, serial, rtol=1e-10, atol=1e-12,
+                                   equal_nan=True)
+
+    def test_cross_parallel(self, X):
+        Y = np.random.default_rng(307).normal(size=(6, 30))
+        serial = cor(X, Y)
+        out = run_spmd(lambda c: pcor(X, Y, comm=c), 4)[0]
+        np.testing.assert_allclose(out, serial, rtol=1e-12, atol=1e-14)
+
+    def test_more_ranks_than_rows(self):
+        X = np.random.default_rng(308).normal(size=(3, 12))
+        out = run_spmd(lambda c: pcor(X, comm=c), 6)[0]
+        np.testing.assert_allclose(out, cor(X), rtol=1e-12, atol=1e-14)
+
+    def test_workers_pass_none(self, X):
+        def job(comm):
+            return pcor(X if comm.is_master else None, comm=comm)
+
+        out = run_spmd(job, 3)[0]
+        np.testing.assert_allclose(out, cor(X), rtol=1e-12, atol=1e-14)
+
+    def test_master_requires_data(self):
+        with pytest.raises(DataError):
+            pcor(None)
+
+    def test_via_sprint_framework(self, X):
+        from repro.sprint import SprintSession
+
+        with SprintSession(nprocs=3) as sprint:
+            R = sprint.call("pcor", X)
+        np.testing.assert_allclose(R, cor(X), rtol=1e-12, atol=1e-14)

@@ -1,0 +1,133 @@
+"""Tests for complete-permutation counting and the B=0 contract."""
+
+from __future__ import annotations
+
+from math import comb, factorial
+
+import numpy as np
+import pytest
+
+from repro.data import block_labels, multiclass_labels, paired_labels, two_class_labels
+from repro.errors import CompletePermutationOverflow, DataError
+from repro.permute.counting import (
+    complete_count,
+    count_block,
+    count_multiclass,
+    count_paired,
+    count_two_sample,
+    resolve_permutation_count,
+)
+
+
+class TestCounts:
+    def test_two_sample(self):
+        assert count_two_sample(two_class_labels(6, 4)) == comb(10, 4)
+
+    def test_two_sample_balanced(self):
+        assert count_two_sample(two_class_labels(5, 5)) == comb(10, 5)
+
+    def test_two_sample_paper_dataset(self):
+        # 76 samples, 38/38 — far beyond any enumeration limit.
+        assert count_two_sample(two_class_labels(38, 38)) == comb(76, 38)
+
+    def test_two_sample_rejects_three_classes(self):
+        with pytest.raises(DataError):
+            count_two_sample(multiclass_labels([2, 2, 2]))
+
+    def test_multiclass(self):
+        labels = multiclass_labels([2, 3, 1])
+        assert count_multiclass(labels) == factorial(6) // (2 * 6 * 1)
+
+    def test_multiclass_two_classes_equals_binomial(self):
+        assert count_multiclass(two_class_labels(4, 3)) == comb(7, 3)
+
+    def test_paired(self):
+        assert count_paired(paired_labels(6)) == 64
+
+    def test_paired_flipped_pairs_ok(self):
+        assert count_paired(paired_labels(4, flipped=True)) == 16
+
+    def test_paired_rejects_odd(self):
+        with pytest.raises(DataError):
+            count_paired(np.array([0, 1, 0]))
+
+    def test_paired_rejects_non_pair_layout(self):
+        # adjacent columns (0,0) and (1,1) are not {0,1} pairs
+        with pytest.raises(DataError):
+            count_paired(np.array([0, 0, 1, 1]))
+
+    def test_block(self):
+        assert count_block(block_labels(4, 3)) == 6**4
+
+    def test_block_shuffled_blocks_ok(self):
+        assert count_block(block_labels(3, 3, seed=5)) == 6**3
+
+    def test_block_rejects_bad_block(self):
+        with pytest.raises(DataError):
+            count_block(np.array([0, 1, 2, 0, 1, 1]))
+
+    def test_complete_count_dispatch(self):
+        assert complete_count("t", two_class_labels(3, 3)) == comb(6, 3)
+        assert complete_count("t.equalvar", two_class_labels(3, 3)) == comb(6, 3)
+        assert complete_count("wilcoxon", two_class_labels(3, 3)) == comb(6, 3)
+        assert complete_count("f", multiclass_labels([2, 2, 2])) == 90
+        assert complete_count("pairt", paired_labels(5)) == 32
+        assert complete_count("blockf", block_labels(3, 2)) == 8
+
+    def test_complete_count_unknown_test(self):
+        with pytest.raises(DataError):
+            complete_count("nope", two_class_labels(3, 3))
+
+    def test_labels_must_be_dense(self):
+        with pytest.raises(DataError):
+            count_two_sample(np.array([0, 2, 0, 2]))
+
+    def test_labels_must_be_nonnegative(self):
+        with pytest.raises(DataError):
+            count_two_sample(np.array([-1, 1, 0, 1]))
+
+    def test_empty_labels(self):
+        with pytest.raises(DataError):
+            count_two_sample(np.array([], dtype=int))
+
+
+class TestResolve:
+    def test_b_zero_requests_complete(self):
+        nperm, complete = resolve_permutation_count("t", two_class_labels(4, 4), 0)
+        assert complete and nperm == comb(8, 4)
+
+    def test_b_zero_overflow(self):
+        labels = two_class_labels(38, 38)
+        with pytest.raises(CompletePermutationOverflow) as exc:
+            resolve_permutation_count("t", labels, 0)
+        assert exc.value.count == comb(76, 38)
+
+    def test_b_over_complete_switches_to_complete(self):
+        labels = two_class_labels(3, 3)  # complete = 20
+        nperm, complete = resolve_permutation_count("t", labels, 1000)
+        assert complete and nperm == 20
+
+    def test_b_below_complete_stays_random(self):
+        labels = two_class_labels(10, 10)
+        nperm, complete = resolve_permutation_count("t", labels, 500)
+        assert not complete and nperm == 500
+
+    def test_b_equal_complete_is_complete(self):
+        labels = two_class_labels(3, 3)
+        nperm, complete = resolve_permutation_count("t", labels, 20)
+        assert complete and nperm == 20
+
+    def test_negative_b_rejected(self):
+        with pytest.raises(DataError):
+            resolve_permutation_count("t", two_class_labels(3, 3), -1)
+
+    def test_custom_limit(self):
+        labels = two_class_labels(4, 4)  # complete = 70
+        with pytest.raises(CompletePermutationOverflow):
+            resolve_permutation_count("t", labels, 0, limit=50)
+
+    def test_limit_caps_b_to_complete_switch(self):
+        # B=100 >= complete=70, but limit 50 < 70: random sampling with B=100
+        labels = two_class_labels(4, 4)
+        nperm, complete = resolve_permutation_count("t", labels, 100, limit=50)
+        assert not complete and nperm == 100

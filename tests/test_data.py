@@ -1,0 +1,187 @@
+"""Tests for synthetic data generation and label builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PAPER_DATASETS,
+    block_labels,
+    dataset_size_mb,
+    inject_missing,
+    multiclass_labels,
+    paired_labels,
+    paper_dataset,
+    synthetic_blocked,
+    synthetic_expression,
+    synthetic_paired,
+    two_class_labels,
+)
+from repro.errors import DataError
+from repro.permute.counting import count_block, count_paired, count_two_sample
+from repro.stats import MT_NA_NUM
+
+
+class TestLabels:
+    def test_two_class(self):
+        labels = two_class_labels(3, 2)
+        np.testing.assert_array_equal(labels, [0, 0, 0, 1, 1])
+
+    def test_two_class_validates(self):
+        with pytest.raises(DataError):
+            two_class_labels(0, 3)
+
+    def test_multiclass(self):
+        labels = multiclass_labels([2, 1, 2])
+        np.testing.assert_array_equal(labels, [0, 0, 1, 2, 2])
+
+    def test_multiclass_validates(self):
+        with pytest.raises(DataError):
+            multiclass_labels([3])
+        with pytest.raises(DataError):
+            multiclass_labels([3, 0])
+
+    def test_paired(self):
+        np.testing.assert_array_equal(paired_labels(3), [0, 1, 0, 1, 0, 1])
+        assert count_paired(paired_labels(3)) == 8
+
+    def test_paired_flipped(self):
+        np.testing.assert_array_equal(paired_labels(2, flipped=True),
+                                      [1, 0, 1, 0])
+
+    def test_block(self):
+        np.testing.assert_array_equal(block_labels(2, 3), [0, 1, 2, 0, 1, 2])
+        assert count_block(block_labels(2, 3)) == 36
+
+    def test_block_shuffled_valid(self):
+        labels = block_labels(5, 4, seed=3)
+        assert count_block(labels) == 24**5
+
+    def test_block_validates(self):
+        with pytest.raises(DataError):
+            block_labels(0, 3)
+
+
+class TestSyntheticExpression:
+    def test_shape_and_truth(self):
+        X, truth = synthetic_expression(100, 20, de_fraction=0.1, seed=1)
+        assert X.shape == (100, 20)
+        assert truth.n_de == 10
+        assert truth.is_de(100).sum() == 10
+
+    def test_reproducible(self):
+        a, _ = synthetic_expression(50, 10, seed=5)
+        b, _ = synthetic_expression(50, 10, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a, _ = synthetic_expression(50, 10, seed=5)
+        b, _ = synthetic_expression(50, 10, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_de_genes_actually_shifted(self):
+        X, truth = synthetic_expression(400, 40, de_fraction=0.1,
+                                        effect_size=3.0, seed=2)
+        labels = two_class_labels(20, 20)
+        diff = np.abs(X[:, labels == 1].mean(1) - X[:, labels == 0].mean(1))
+        de = truth.is_de(400)
+        assert diff[de].mean() > 3 * diff[~de].mean()
+
+    def test_zero_de_fraction(self):
+        _, truth = synthetic_expression(50, 10, de_fraction=0.0, seed=3)
+        assert truth.n_de == 0
+
+    def test_validates(self):
+        with pytest.raises(DataError):
+            synthetic_expression(0, 10)
+        with pytest.raises(DataError):
+            synthetic_expression(10, 2)
+        with pytest.raises(DataError):
+            synthetic_expression(10, 10, de_fraction=1.5)
+        with pytest.raises(DataError):
+            synthetic_expression(10, 10, n_class1=9)
+
+
+class TestSyntheticPaired:
+    def test_shape(self):
+        X, _ = synthetic_paired(30, 6, seed=1)
+        assert X.shape == (30, 12)
+
+    def test_pair_correlation_present(self):
+        X, _ = synthetic_paired(500, 20, pair_correlation=0.9,
+                                de_fraction=0.0, seed=2)
+        # correlation between pair members across pairs, per gene
+        a, b = X[:, 0::2], X[:, 1::2]
+        a_c = a - a.mean(1, keepdims=True)
+        b_c = b - b.mean(1, keepdims=True)
+        corr = (a_c * b_c).sum(1) / np.sqrt((a_c**2).sum(1) * (b_c**2).sum(1))
+        assert np.median(corr) > 0.6
+
+    def test_validates(self):
+        with pytest.raises(DataError):
+            synthetic_paired(10, 1)
+
+
+class TestSyntheticBlocked:
+    def test_shape(self):
+        X, _ = synthetic_blocked(20, 4, 3, seed=1)
+        assert X.shape == (20, 12)
+
+    def test_block_effects_present(self):
+        X, _ = synthetic_blocked(300, 6, 3, block_sd=4.0, de_fraction=0.0,
+                                 seed=2)
+        cells = X.reshape(300, 6, 3)
+        block_var = cells.mean(axis=2).var(axis=1).mean()
+        resid_var = cells.var(axis=2).mean()
+        assert block_var > resid_var  # blocks dominate
+
+    def test_validates(self):
+        with pytest.raises(DataError):
+            synthetic_blocked(10, 1, 3)
+
+
+class TestMissing:
+    def test_rate(self):
+        X = np.zeros((100, 100))
+        out = inject_missing(X, 0.1, seed=1)
+        rate = np.isnan(out).mean()
+        assert 0.08 < rate < 0.12
+
+    def test_code_injection(self):
+        X = np.ones((10, 10))
+        out = inject_missing(X, 0.2, seed=2, code=MT_NA_NUM)
+        assert (out == MT_NA_NUM).any()
+        assert not np.isnan(out).any()
+
+    def test_original_untouched(self):
+        X = np.ones((5, 5))
+        inject_missing(X, 0.5, seed=3)
+        assert not np.isnan(X).any()
+
+    def test_validates(self):
+        with pytest.raises(DataError):
+            inject_missing(np.ones((2, 2)), 1.0)
+
+
+class TestPaperDatasets:
+    def test_catalogue(self):
+        assert set(PAPER_DATASETS) == {"microarray-6k", "exon-36k", "exon-73k"}
+
+    def test_paper_sizes_match_table6(self):
+        assert PAPER_DATASETS["exon-36k"].size_mb == pytest.approx(21.22, abs=0.02)
+        assert PAPER_DATASETS["exon-73k"].size_mb == pytest.approx(42.45, abs=0.02)
+
+    def test_dataset_size_helper(self):
+        assert dataset_size_mb(36_612, 76) == pytest.approx(21.22, abs=0.02)
+
+    def test_materialise_small(self):
+        X, labels, truth = paper_dataset("microarray-6k", seed=1)
+        assert X.shape == (6_102, 76)
+        assert labels.sum() == 38
+        assert count_two_sample(labels) > 0
+        assert truth.n_de > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataError):
+            paper_dataset("exon-99k")

@@ -1,0 +1,162 @@
+"""Hypothesis property tests across all generator families.
+
+The load-bearing invariant for the parallel decomposition: for *every*
+generator type, splitting the index range into arbitrary chunks and
+re-collecting reproduces the serial sequence exactly (paper Figure 2), and
+complete enumerations cover their group without duplicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import block_labels, multiclass_labels, paired_labels, two_class_labels
+from repro.permute import (
+    CompleteBlock,
+    CompleteMulticlass,
+    CompleteSigns,
+    CompleteTwoSample,
+    RandomBlockShuffle,
+    RandomLabelShuffle,
+    RandomSigns,
+)
+
+
+def _cuts_to_chunks(total, cuts):
+    bounds = sorted({0, total, *(c % (total + 1) for c in cuts)})
+    return list(zip(bounds[:-1], bounds[1:]))
+
+
+def _serial_sequence(make_gen):
+    return [tuple(e) for e in make_gen().take()]
+
+
+def _chunked_sequence(make_gen, chunks):
+    out = []
+    for start, stop in chunks:
+        gen = make_gen()
+        gen.skip(start)
+        out.extend(tuple(e) for e in gen.take(stop - start))
+    return out
+
+
+class TestFigure2PropertyAllFamilies:
+    @given(st.integers(0, 2**31 - 1),
+           st.lists(st.integers(0, 10**6), max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_label_shuffle(self, seed, cuts):
+        labels = two_class_labels(4, 5)
+        make = lambda: RandomLabelShuffle(labels, 31, seed=seed)  # noqa: E731
+        chunks = _cuts_to_chunks(31, cuts)
+        assert _chunked_sequence(make, chunks) == _serial_sequence(make)
+
+    @given(st.integers(0, 2**31 - 1),
+           st.lists(st.integers(0, 10**6), max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_random_signs(self, seed, cuts):
+        make = lambda: RandomSigns(6, 25, seed=seed)  # noqa: E731
+        chunks = _cuts_to_chunks(25, cuts)
+        assert _chunked_sequence(make, chunks) == _serial_sequence(make)
+
+    @given(st.integers(0, 2**31 - 1),
+           st.lists(st.integers(0, 10**6), max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_random_block_shuffle(self, seed, cuts):
+        labels = block_labels(3, 3)
+        make = lambda: RandomBlockShuffle(labels, 3, 20, seed=seed)  # noqa: E731
+        chunks = _cuts_to_chunks(20, cuts)
+        assert _chunked_sequence(make, chunks) == _serial_sequence(make)
+
+    @given(st.lists(st.integers(0, 10**6), max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_complete_two_sample(self, cuts):
+        labels = two_class_labels(4, 3)
+        make = lambda: CompleteTwoSample(labels)  # noqa: E731
+        total = make().nperm
+        chunks = _cuts_to_chunks(total, cuts)
+        assert _chunked_sequence(make, chunks) == _serial_sequence(make)
+
+    @given(st.lists(st.integers(0, 10**6), max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_complete_multiclass(self, cuts):
+        labels = multiclass_labels([2, 2, 2])
+        make = lambda: CompleteMulticlass(labels)  # noqa: E731
+        total = make().nperm  # 90
+        chunks = _cuts_to_chunks(total, cuts)
+        assert _chunked_sequence(make, chunks) == _serial_sequence(make)
+
+    @given(st.lists(st.integers(0, 10**6), max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_complete_block(self, cuts):
+        labels = block_labels(2, 3, seed=7)
+        make = lambda: CompleteBlock(labels, 3)  # noqa: E731
+        total = make().nperm  # 36
+        chunks = _cuts_to_chunks(total, cuts)
+        assert _chunked_sequence(make, chunks) == _serial_sequence(make)
+
+
+class TestCompleteCoverageProperty:
+    @given(st.integers(2, 5), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_two_sample_group_coverage(self, n0, n1):
+        labels = two_class_labels(n0, n1)
+        gen = CompleteTwoSample(labels)
+        seen = {tuple(e) for e in gen.take()}
+        assert len(seen) == gen.nperm
+        assert all(sum(e) == n1 for e in seen)
+
+    @given(st.lists(st.integers(1, 3), min_size=2, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_multiclass_group_coverage(self, counts):
+        labels = multiclass_labels(counts)
+        gen = CompleteMulticlass(labels)
+        seen = {tuple(e) for e in gen.take()}
+        assert len(seen) == gen.nperm
+        for e in seen:
+            assert np.bincount(np.array(e),
+                               minlength=len(counts)).tolist() == counts
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_signs_group_coverage(self, npairs):
+        gen = CompleteSigns(npairs)
+        seen = {tuple(e) for e in gen.take()}
+        assert len(seen) == 2**npairs
+
+    @given(st.integers(2, 3), st.integers(2, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_block_group_coverage(self, nblocks, k, seed):
+        labels = block_labels(nblocks, k, seed=seed)
+        gen = CompleteBlock(labels, k)
+        seen = {tuple(e) for e in gen.take()}
+        assert len(seen) == gen.nperm
+        # observed labelling is in the group and at index 0
+        gen.reset()
+        assert tuple(gen.at(0)) == tuple(labels)
+
+
+class TestRandomDistributionSanity:
+    def test_label_shuffle_is_uniformish(self):
+        """Chi-square-ish check: each of the C(4,2)=6 arrangements appears
+        with roughly equal frequency over many resamples."""
+        labels = two_class_labels(2, 2)
+        gen = RandomLabelShuffle(labels, 6_001, seed=42)
+        gen.skip(1)
+        counts: dict[tuple, int] = {}
+        for enc in gen.take():
+            counts[tuple(enc)] = counts.get(tuple(enc), 0) + 1
+        assert len(counts) == 6
+        expected = 6_000 / 6
+        for arrangement, count in counts.items():
+            assert abs(count - expected) < 5 * np.sqrt(expected), arrangement
+
+    def test_signs_are_fair(self):
+        gen = RandomSigns(10, 4_001, seed=43)
+        gen.skip(1)
+        total = np.zeros(10)
+        for enc in gen.take():
+            total += enc
+        # each pair's mean sign ~ N(0, 1/sqrt(4000))
+        assert (np.abs(total / 4_000) < 5 / np.sqrt(4_000)).all()

@@ -1,0 +1,117 @@
+"""Hypothesis property tests on the maxT engine as a whole."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import mt_maxT, pmaxT
+from repro.data import two_class_labels
+from repro.mpi import run_spmd
+
+
+_elements = st.floats(-1e3, 1e3, allow_nan=False, width=64)
+
+
+class TestEngineProperties:
+    @given(arrays(np.float64, (6, 8), elements=_elements),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pvalue_bounds_any_data(self, X, seed):
+        labels = two_class_labels(4, 4)
+        res = mt_maxT(X, labels, B=40, seed=seed)
+        ok = ~np.isnan(res.rawp)
+        B = res.nperm
+        assert ((res.rawp[ok] >= 1 / B - 1e-12)
+                & (res.rawp[ok] <= 1 + 1e-12)).all()
+        assert (res.adjp[ok] >= res.rawp[ok] - 1e-12).all()
+        adjp_ordered = res.adjp[res.order]
+        fin = ~np.isnan(adjp_ordered)
+        assert (np.diff(adjp_ordered[fin]) >= -1e-12).all()
+
+    @given(arrays(np.float64, (5, 8), elements=_elements),
+           st.integers(0, 2**31 - 1), st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_serial_parallel_identity_any_data(self, X, seed, nprocs):
+        labels = two_class_labels(4, 4)
+        serial = mt_maxT(X, labels, B=30, seed=seed)
+
+        def job(comm):
+            return pmaxT(X, labels, B=30, seed=seed, comm=comm)
+
+        parallel = run_spmd(job, nprocs)[0]
+        np.testing.assert_array_equal(serial.rawp, parallel.rawp)
+        np.testing.assert_array_equal(serial.adjp, parallel.adjp)
+
+    @given(st.permutations(range(8)))
+    @settings(max_examples=20, deadline=None)
+    def test_row_permutation_equivariance(self, row_order):
+        """Shuffling the gene rows shuffles the p-values identically."""
+        rng = np.random.default_rng(17)
+        X = rng.normal(size=(8, 10))
+        labels = two_class_labels(5, 5)
+        base = mt_maxT(X, labels, B=60, seed=9)
+        perm = np.array(row_order)
+        shuffled = mt_maxT(X[perm], labels, B=60, seed=9)
+        np.testing.assert_array_equal(shuffled.rawp, base.rawp[perm])
+        np.testing.assert_array_equal(shuffled.adjp, base.adjp[perm])
+
+    @given(st.floats(0.1, 10), st.floats(-5, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_scale_shift_invariance(self, scale, shift):
+        """t statistics are affine invariant, so p-values must be too."""
+        rng = np.random.default_rng(19)
+        X = rng.normal(size=(6, 10))
+        labels = two_class_labels(5, 5)
+        a = mt_maxT(X, labels, B=50, seed=3)
+        b = mt_maxT(X * scale + shift, labels, B=50, seed=3)
+        np.testing.assert_array_equal(a.rawp, b.rawp)
+        np.testing.assert_array_equal(a.adjp, b.adjp)
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_nperm_respected(self, B):
+        rng = np.random.default_rng(23)
+        X = rng.normal(size=(4, 12))
+        labels = two_class_labels(6, 6)
+        res = mt_maxT(X, labels, B=B, seed=1)
+        assert res.nperm == B
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_null_data_rarely_significant(self, seed):
+        """Under the global null, min adjusted p is stochastically large."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(15, 12))
+        labels = two_class_labels(6, 6)
+        res = mt_maxT(X, labels, B=100, seed=7)
+        # P(min adjp <= 1/B) is ~1/B under the null; never assert exact,
+        # just that the procedure is not wildly anticonservative.
+        assert np.nanmin(res.adjp) >= 1 / 100
+
+    def test_fwer_control_monte_carlo(self):
+        """maxT controls FWER: reject-any rate under the null ~ alpha."""
+        false_positives = 0
+        trials = 40
+        for trial in range(trials):
+            rng = np.random.default_rng(1000 + trial)
+            X = rng.normal(size=(20, 12))
+            res = mt_maxT(X, two_class_labels(6, 6), B=100,
+                          seed=2000 + trial)
+            if np.nanmin(res.adjp) <= 0.05:
+                false_positives += 1
+        # Binomial(40, 0.05): P(X > 9) < 1e-5 — a safe deterministic bound.
+        assert false_positives <= 9
+
+    def test_power_on_planted_signal(self):
+        """Strong planted effects must be detected (power sanity)."""
+        from repro.data import synthetic_expression
+
+        X, truth = synthetic_expression(100, 20, de_fraction=0.05,
+                                        effect_size=4.0, seed=3)
+        res = mt_maxT(X, two_class_labels(10, 10), B=200, seed=5)
+        detected = set(res.significant(0.05).tolist())
+        assert len(detected & set(truth.de_genes.tolist())) >= 3

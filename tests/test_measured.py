@@ -1,0 +1,61 @@
+"""Tests for the measured-profile module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.measured import (
+    measure_profile,
+    measured_profile_table,
+    render_measured_table,
+)
+from repro.data import synthetic_expression, two_class_labels
+
+
+class TestMeasureProfile:
+    def test_all_sections_populated(self):
+        X, _ = synthetic_expression(60, 12, n_class1=6, seed=501)
+        labels = two_class_labels(6, 6)
+        profile = measure_profile(X, labels, 1, B=80, repeats=1)
+        assert profile.main_kernel > 0
+        assert profile.total() >= profile.main_kernel
+
+    def test_parallel_profile(self):
+        X, _ = synthetic_expression(60, 12, n_class1=6, seed=502)
+        labels = two_class_labels(6, 6)
+        profile = measure_profile(X, labels, 2, B=80, repeats=1)
+        assert profile.main_kernel > 0
+
+    def test_best_of_repeats(self):
+        X, _ = synthetic_expression(40, 12, n_class1=6, seed=503)
+        labels = two_class_labels(6, 6)
+        one = measure_profile(X, labels, 1, B=60, repeats=1)
+        three = measure_profile(X, labels, 1, B=60, repeats=3)
+        # min-of-3 can't be systematically slower than a single sample;
+        # allow generous scheduling noise.
+        assert three.total() <= one.total() * 3
+
+
+class TestTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return measured_profile_table((1, 2), n_genes=60, n_samples=12,
+                                      B=80, repeats=1, seed=504)
+
+    def test_row_structure(self, rows):
+        assert [r.procs for r in rows] == [1, 2]
+        assert rows[0].speedup_total == pytest.approx(1.0)
+        assert rows[0].speedup_kernel == pytest.approx(1.0)
+
+    def test_render(self, rows):
+        text = render_measured_table(rows, n_genes=60, n_samples=12, B=80)
+        assert "Measured pmaxT profile" in text
+        assert "Spd(kern)" in text
+        assert len(text.splitlines()) == 5
+
+    def test_cli(self, capsys):
+        from repro.bench.measured import main
+
+        assert main(["--genes", "40", "--samples", "12", "--b", "50",
+                     "--procs", "1", "--repeats", "1"]) == 0
+        assert "Measured pmaxT profile" in capsys.readouterr().out

@@ -1,0 +1,242 @@
+"""Tests for the MPI substrate: SerialComm and the threaded SPMD world."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import CommAbort, CommunicatorError
+from repro.mpi import MAX, MIN, SUM, SerialComm, ThreadWorld, run_spmd
+
+
+class TestSerialComm:
+    def test_identity_world(self):
+        comm = SerialComm()
+        assert comm.rank == 0 and comm.size == 1 and comm.is_master
+
+    def test_bcast(self):
+        assert SerialComm().bcast({"a": 1}) == {"a": 1}
+
+    def test_gather(self):
+        assert SerialComm().gather(42) == [42]
+
+    def test_reduce_and_allreduce(self):
+        comm = SerialComm()
+        assert comm.reduce(7) == 7
+        assert comm.allreduce(7) == 7
+
+    def test_barrier_noop(self):
+        SerialComm().barrier()
+
+    def test_scatter(self):
+        assert SerialComm().scatter([9]) == 9
+
+    def test_self_send_recv(self):
+        comm = SerialComm()
+        comm.send("hello", dest=0, tag=3)
+        assert comm.recv(source=0, tag=3) == "hello"
+
+    def test_recv_empty_queue_raises(self):
+        with pytest.raises(CommunicatorError, match="deadlock"):
+            SerialComm().recv(source=0)
+
+    def test_invalid_root(self):
+        with pytest.raises(CommunicatorError):
+            SerialComm().bcast(1, root=2)
+
+    def test_invalid_dest(self):
+        with pytest.raises(CommunicatorError):
+            SerialComm().send(1, dest=1)
+
+
+class TestThreadWorldCollectives:
+    def test_bcast_object(self):
+        def job(comm):
+            data = {"k": [1, 2, 3]} if comm.is_master else None
+            return comm.bcast(data)
+
+        results = run_spmd(job, 4)
+        assert all(r == {"k": [1, 2, 3]} for r in results)
+
+    def test_bcast_from_nonzero_root(self):
+        def job(comm):
+            value = comm.rank * 10 if comm.rank == 2 else None
+            return comm.bcast(value, root=2)
+
+        assert run_spmd(job, 4) == [20, 20, 20, 20]
+
+    def test_gather(self):
+        def job(comm):
+            return comm.gather(comm.rank ** 2)
+
+        results = run_spmd(job, 4)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_reduce_sum_arrays(self):
+        def job(comm):
+            return comm.reduce(np.full(3, comm.rank + 1))
+
+        results = run_spmd(job, 3)
+        np.testing.assert_array_equal(results[0], [6, 6, 6])
+        assert results[1] is None and results[2] is None
+
+    def test_reduce_max_min(self):
+        def job(comm):
+            return (comm.reduce(comm.rank, op=MAX),
+                    comm.reduce(comm.rank, op=MIN))
+
+        results = run_spmd(job, 5)
+        assert results[0] == (4, 0)
+
+    def test_allreduce(self):
+        def job(comm):
+            return comm.allreduce(1, op=SUM)
+
+        assert run_spmd(job, 6) == [6] * 6
+
+    def test_scatter(self):
+        def job(comm):
+            payload = [f"item{r}" for r in range(comm.size)] \
+                if comm.is_master else None
+            return comm.scatter(payload)
+
+        assert run_spmd(job, 3) == ["item0", "item1", "item2"]
+
+    def test_repeated_collectives_no_crosstalk(self):
+        def job(comm):
+            out = []
+            for i in range(20):
+                out.append(comm.bcast(i * 2 if comm.is_master else None))
+                out.append(comm.allreduce(1))
+            return out
+
+        results = run_spmd(job, 3)
+        assert results[0] == results[1] == results[2]
+
+    def test_barrier_synchronises(self):
+        order = []
+
+        def job(comm):
+            if comm.rank == 1:
+                time.sleep(0.05)
+            comm.barrier()
+            order.append(comm.rank)
+
+        run_spmd(job, 3)
+        assert len(order) == 3
+
+    def test_results_are_rank_ordered(self):
+        assert run_spmd(lambda c: c.rank, 5) == [0, 1, 2, 3, 4]
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send("ping", dest=1)
+                return comm.recv(source=1)
+            comm.send("pong", dest=0)
+            return comm.recv(source=0)
+
+        assert run_spmd(job, 2) == ["pong", "ping"]
+
+    def test_tags_separate_messages(self):
+        def job(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_spmd(job, 2)[1] == ("a", "b")
+
+    def test_source_filtering(self):
+        def job(comm):
+            if comm.rank == 0:
+                got2 = comm.recv(source=2)
+                got1 = comm.recv(source=1)
+                return (got1, got2)
+            comm.send(f"from{comm.rank}", dest=0)
+            return None
+
+        assert run_spmd(job, 3)[0] == ("from1", "from2")
+
+    def test_invalid_dest(self):
+        def job(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(job, 2)
+
+
+class TestFailureHandling:
+    def test_exception_propagates(self):
+        def job(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            run_spmd(job, 3)
+
+    def test_peers_unblocked_on_abort(self):
+        """Peers stuck in a collective get CommAbort, not a deadlock."""
+        start = time.monotonic()
+
+        def job(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.bcast(None)  # would block forever without abort
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_spmd(job, 4)
+        assert time.monotonic() - start < 10
+
+    def test_abort_during_recv(self):
+        def job(comm):
+            if comm.rank == 0:
+                raise RuntimeError("sender died")
+            comm.recv(source=0)
+
+        with pytest.raises(RuntimeError, match="sender died"):
+            run_spmd(job, 2)
+
+    def test_world_stays_aborted(self):
+        world = ThreadWorld(2)
+        world.abort(0)
+        with pytest.raises(CommAbort):
+            world.comm(1).barrier()
+
+    def test_invalid_world_size(self):
+        with pytest.raises(CommunicatorError):
+            ThreadWorld(0)
+
+    def test_invalid_rank(self):
+        world = ThreadWorld(2)
+        with pytest.raises(CommunicatorError):
+            world.comm(5)
+
+    def test_invalid_root(self):
+        def job(comm):
+            comm.bcast(1, root=9)
+
+        with pytest.raises(CommunicatorError):
+            run_spmd(job, 2)
+
+
+class TestGilOverlap:
+    def test_numpy_work_completes_in_all_ranks(self):
+        """Sanity: each rank does real BLAS work and reduces correctly."""
+        def job(comm):
+            rng = np.random.default_rng(comm.rank)
+            a = rng.normal(size=(60, 60))
+            local = float((a @ a.T).trace())
+            return comm.allreduce(local)
+
+        results = run_spmd(job, 4)
+        assert all(abs(r - results[0]) < 1e-9 for r in results)

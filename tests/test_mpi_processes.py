@@ -1,0 +1,121 @@
+"""Tests for the process-based SPMD backend (real OS processes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mt_maxT, pmaxT
+from repro.data import synthetic_expression, two_class_labels
+from repro.errors import CommunicatorError
+from repro.mpi import run_spmd_processes
+
+# Module-level functions so the fork pickling path is exercised too.
+
+def _job_bcast(comm):
+    data = {"k": 7} if comm.is_master else None
+    return comm.bcast(data)
+
+
+def _job_gather(comm):
+    return comm.gather(comm.rank * 2)
+
+
+def _job_allreduce(comm):
+    return comm.allreduce(comm.rank + 1)
+
+
+def _job_reduce_array(comm):
+    return comm.reduce(np.full(4, comm.rank))
+
+
+def _job_barrier_ring(comm):
+    for _ in range(5):
+        comm.barrier()
+    return comm.rank
+
+
+def _job_pingpong(comm):
+    if comm.rank == 0:
+        comm.send("ping", dest=1)
+        return comm.recv(source=1)
+    comm.send("pong", dest=0)
+    return comm.recv(source=0)
+
+
+def _job_crash(comm):
+    if comm.rank == 1:
+        raise ValueError("child exploded")
+    comm.barrier()
+
+
+class TestCollectives:
+    def test_bcast(self):
+        assert run_spmd_processes(_job_bcast, 3) == [{"k": 7}] * 3
+
+    def test_gather(self):
+        results = run_spmd_processes(_job_gather, 3)
+        assert results[0] == [0, 2, 4]
+        assert results[1] is None and results[2] is None
+
+    def test_allreduce(self):
+        assert run_spmd_processes(_job_allreduce, 4) == [10, 10, 10, 10]
+
+    def test_reduce_numpy(self):
+        results = run_spmd_processes(_job_reduce_array, 3)
+        np.testing.assert_array_equal(results[0], [3, 3, 3, 3])
+
+    def test_barrier(self):
+        assert run_spmd_processes(_job_barrier_ring, 3) == [0, 1, 2]
+
+    def test_point_to_point(self):
+        assert run_spmd_processes(_job_pingpong, 2) == ["pong", "ping"]
+
+    def test_single_rank(self):
+        assert run_spmd_processes(_job_allreduce, 1) == [1]
+
+
+class TestFailures:
+    def test_child_exception_propagates(self):
+        with pytest.raises(CommunicatorError, match="child exploded"):
+            run_spmd_processes(_job_crash, 3)
+
+    def test_invalid_size(self):
+        with pytest.raises(CommunicatorError):
+            run_spmd_processes(_job_bcast, 0)
+
+
+def _job_pmaxt(comm):
+    X, _ = synthetic_expression(40, 12, n_class1=6, seed=101)
+    labels = two_class_labels(6, 6)
+    return pmaxT(X, labels, B=150, seed=33, comm=comm)
+
+
+def _job_pmaxt_complete(comm):
+    X, _ = synthetic_expression(15, 8, n_class1=4, seed=102)
+    labels = two_class_labels(4, 4)
+    return pmaxT(X, labels, B=0, comm=comm)
+
+
+class TestPmaxTOverProcesses:
+    def test_matches_serial(self):
+        """pmaxT over real OS processes — the closest analogue to the
+        paper's MPI deployment — still reproduces the serial result."""
+        X, _ = synthetic_expression(40, 12, n_class1=6, seed=101)
+        labels = two_class_labels(6, 6)
+        serial = mt_maxT(X, labels, B=150, seed=33)
+        results = run_spmd_processes(_job_pmaxt, 3)
+        parallel = results[0]
+        assert parallel is not None and results[1] is None
+        np.testing.assert_array_equal(serial.rawp, parallel.rawp)
+        np.testing.assert_array_equal(serial.adjp, parallel.adjp)
+        assert parallel.nranks == 3
+
+    def test_complete_enumeration_over_processes(self):
+        X, _ = synthetic_expression(15, 8, n_class1=4, seed=102)
+        labels = two_class_labels(4, 4)
+        serial = mt_maxT(X, labels, B=0)
+        parallel = run_spmd_processes(_job_pmaxt_complete, 4)[0]
+        assert parallel.complete and parallel.nperm == 70
+        np.testing.assert_array_equal(serial.rawp, parallel.rawp)
+        np.testing.assert_array_equal(serial.adjp, parallel.adjp)

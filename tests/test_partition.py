@@ -1,0 +1,113 @@
+"""Tests for the permutation partition plan (paper Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import partition_permutations
+from repro.errors import PermutationError
+
+
+class TestPaperFigure2:
+    def test_figure2_numbers(self):
+        """The paper's drawing: 23 permutations over 3 processes."""
+        plan = partition_permutations(23, 3)
+        assert [(c.start, c.count) for c in plan.chunks] == [
+            (0, 8), (8, 8), (16, 7)
+        ]
+        assert plan.chunks[0].includes_observed
+        assert not plan.chunks[1].includes_observed
+        assert not plan.chunks[2].includes_observed
+
+    def test_master_owns_observed(self):
+        for p in (1, 2, 5, 8):
+            plan = partition_permutations(100, p)
+            assert plan.owner_of(0) == 0
+
+
+class TestInvariants:
+    def test_single_rank_gets_everything(self):
+        plan = partition_permutations(50, 1)
+        assert plan.chunks[0].start == 0 and plan.chunks[0].count == 50
+
+    def test_disjoint_cover(self):
+        plan = partition_permutations(29, 4)
+        seen = []
+        for c in plan.chunks:
+            seen.extend(range(c.start, c.stop))
+        assert sorted(seen) == list(range(29))
+
+    def test_near_equal_split(self):
+        plan = partition_permutations(150_000, 512)
+        counts = [c.count for c in plan.chunks]
+        assert max(counts) - min(counts) <= 1
+        assert sum(counts) == 150_000
+
+    def test_more_ranks_than_permutations(self):
+        plan = partition_permutations(3, 8)
+        counts = [c.count for c in plan.chunks]
+        assert sum(counts) == 3
+        assert all(c >= 0 for c in counts)
+        # ranks beyond the work get empty chunks
+        assert counts[3:] == [0] * 5
+
+    def test_max_count(self):
+        plan = partition_permutations(10, 3)
+        assert plan.max_count == max(c.count for c in plan.chunks)
+
+    def test_chunk_for_validates(self):
+        plan = partition_permutations(10, 3)
+        with pytest.raises(PermutationError):
+            plan.chunk_for(3)
+
+    def test_owner_of_validates(self):
+        plan = partition_permutations(10, 3)
+        with pytest.raises(PermutationError):
+            plan.owner_of(10)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PermutationError):
+            partition_permutations(0, 3)
+        with pytest.raises(PermutationError):
+            partition_permutations(10, 0)
+
+    @given(st.integers(1, 5000), st.integers(1, 64))
+    @settings(max_examples=100)
+    def test_cover_property(self, nperm, nranks):
+        plan = partition_permutations(nperm, nranks)
+        assert sum(c.count for c in plan.chunks) == nperm
+        # chunks are ordered and contiguous
+        cursor = 0
+        for c in plan.chunks:
+            assert c.start == cursor or c.count == 0
+            if c.count:
+                cursor = c.stop
+        assert cursor == nperm
+        # "divides the permutation count into equal chunks": counts differ
+        # by at most 1 across ranks.
+        counts = [c.count for c in plan.chunks]
+        assert max(counts) - min(counts) <= 1
+
+    @given(st.integers(2, 2000), st.integers(1, 32), st.data())
+    @settings(max_examples=60)
+    def test_owner_matches_chunks(self, nperm, nranks, data):
+        plan = partition_permutations(nperm, nranks)
+        idx = data.draw(st.integers(0, nperm - 1))
+        owner = plan.owner_of(idx)
+        chunk = plan.chunk_for(owner)
+        assert chunk.start <= idx < chunk.stop
+
+
+class TestPaperScalingCounts:
+    """The per-rank counts that drive the simulated kernel times."""
+
+    @pytest.mark.parametrize("procs,expected_max", [
+        (1, 150_000),
+        (2, 75_000),
+        (512, 293),        # 150 000 = 512 * 292 + 496
+    ])
+    def test_hector_workload_chunks(self, procs, expected_max):
+        plan = partition_permutations(150_000, procs)
+        assert plan.max_count == expected_max

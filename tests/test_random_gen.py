@@ -1,0 +1,176 @@
+"""Tests for the Monte-Carlo permutation generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import block_labels, two_class_labels
+from repro.errors import PermutationError
+from repro.permute.random_gen import (
+    RandomBlockShuffle,
+    RandomLabelShuffle,
+    RandomSigns,
+)
+
+
+def _collect(gen, count=None):
+    return [tuple(enc) for enc in gen.take(count)]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("fixed", [True, False])
+    def test_index_zero_is_observed(self, fixed):
+        labels = two_class_labels(3, 4)
+        gen = RandomLabelShuffle(labels, 10, seed=1, fixed_seed=fixed)
+        first = next(gen.take(1))
+        assert np.array_equal(first, labels)
+
+    @pytest.mark.parametrize("fixed", [True, False])
+    def test_skip_equals_take_and_drop(self, fixed):
+        labels = two_class_labels(4, 4)
+        a = RandomLabelShuffle(labels, 20, seed=3, fixed_seed=fixed)
+        full = _collect(a)
+        for skip in (0, 1, 5, 13, 19):
+            b = RandomLabelShuffle(labels, 20, seed=3, fixed_seed=fixed)
+            b.skip(skip)
+            assert _collect(b) == full[skip:], f"skip={skip}"
+
+    @pytest.mark.parametrize("fixed", [True, False])
+    def test_partition_reproduces_serial_sequence(self, fixed):
+        """The Figure-2 property: chunked generation == serial generation."""
+        labels = two_class_labels(5, 5)
+        serial = _collect(RandomLabelShuffle(labels, 23, seed=9,
+                                             fixed_seed=fixed))
+        pieces = []
+        for start, count in [(0, 8), (8, 8), (16, 7)]:
+            g = RandomLabelShuffle(labels, 23, seed=9, fixed_seed=fixed)
+            g.skip(start)
+            pieces.extend(_collect(g, count))
+        assert pieces == serial
+
+    def test_reset_restarts_stream(self):
+        labels = two_class_labels(3, 3)
+        gen = RandomLabelShuffle(labels, 10, seed=4, fixed_seed=False)
+        first = _collect(gen, 5)
+        gen.reset()
+        assert _collect(gen, 5) == first
+
+    def test_different_seeds_differ(self):
+        labels = two_class_labels(6, 6)
+        a = _collect(RandomLabelShuffle(labels, 10, seed=1))
+        b = _collect(RandomLabelShuffle(labels, 10, seed=2))
+        assert a[0] == b[0]  # observed identical
+        assert a[1:] != b[1:]
+
+    def test_sequential_stream_has_no_random_access(self):
+        gen = RandomLabelShuffle(two_class_labels(3, 3), 10, fixed_seed=False)
+        with pytest.raises(PermutationError):
+            gen.at(3)
+
+    def test_fixed_seed_random_access_matches_stream(self):
+        gen = RandomLabelShuffle(two_class_labels(4, 4), 15, seed=5)
+        seq = _collect(gen)
+        for i in (0, 3, 14):
+            assert tuple(gen.at(i)) == seq[i]
+
+    def test_skip_past_end_raises(self):
+        gen = RandomLabelShuffle(two_class_labels(3, 3), 5)
+        with pytest.raises(PermutationError):
+            gen.skip(6)
+
+    def test_take_past_end_raises(self):
+        gen = RandomLabelShuffle(two_class_labels(3, 3), 5)
+        with pytest.raises(PermutationError):
+            list(gen.take(6))
+
+    def test_take_batch_shape(self):
+        gen = RandomLabelShuffle(two_class_labels(3, 3), 10)
+        batch = gen.take_batch(4)
+        assert batch.shape == (4, 6)
+        assert batch.dtype == np.int64
+        assert gen.position == 4
+
+    def test_empty_batch(self):
+        gen = RandomLabelShuffle(two_class_labels(3, 3), 10)
+        assert gen.take_batch(0).shape == (0, 6)
+
+    def test_len_and_iter(self):
+        gen = RandomLabelShuffle(two_class_labels(2, 2), 7)
+        assert len(gen) == 7
+        assert len(list(gen)) == 7
+
+
+class TestLabelShuffle:
+    def test_preserves_class_counts(self):
+        labels = two_class_labels(7, 5)
+        gen = RandomLabelShuffle(labels, 50, seed=2)
+        for enc in gen:
+            assert enc.sum() == 5
+            assert len(enc) == 12
+
+    def test_resamples_vary(self):
+        gen = RandomLabelShuffle(two_class_labels(8, 8), 30, seed=1)
+        encs = {tuple(e) for e in gen}
+        assert len(encs) > 10  # overwhelmingly likely
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(PermutationError):
+            RandomLabelShuffle(np.zeros((2, 2), dtype=int), 5)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25)
+    def test_multiset_invariant_property(self, seed):
+        labels = two_class_labels(4, 7)
+        gen = RandomLabelShuffle(labels, 8, seed=seed)
+        expected = np.bincount(labels)
+        for enc in gen:
+            assert np.array_equal(np.bincount(enc, minlength=2), expected)
+
+
+class TestSigns:
+    def test_observed_all_plus_one(self):
+        gen = RandomSigns(6, 10, seed=3)
+        assert np.array_equal(next(gen.take(1)), np.ones(6, dtype=np.int64))
+
+    def test_entries_are_signs(self):
+        gen = RandomSigns(5, 40, seed=3)
+        for enc in gen:
+            assert set(np.unique(enc)).issubset({-1, 1})
+
+    def test_both_signs_appear(self):
+        gen = RandomSigns(8, 50, seed=4)
+        gen.skip(1)
+        flat = np.concatenate(list(gen.take()))
+        assert (flat == 1).any() and (flat == -1).any()
+
+
+class TestBlockShuffle:
+    def test_observed_is_input(self):
+        labels = block_labels(4, 3, seed=7)
+        gen = RandomBlockShuffle(labels, 3, 10, seed=1)
+        assert np.array_equal(next(gen.take(1)), labels)
+
+    def test_each_block_stays_a_permutation(self):
+        labels = block_labels(5, 3)
+        gen = RandomBlockShuffle(labels, 3, 30, seed=2)
+        for enc in gen:
+            blocks = enc.reshape(5, 3)
+            assert (np.sort(blocks, axis=1) == np.arange(3)).all()
+
+    def test_rejects_indivisible_n(self):
+        with pytest.raises(PermutationError):
+            RandomBlockShuffle(np.array([0, 1, 2, 0]), 3, 5)
+
+    def test_blocks_shuffled_independently(self):
+        labels = block_labels(6, 3)
+        gen = RandomBlockShuffle(labels, 3, 40, seed=5)
+        gen.skip(1)
+        # across resamples, different blocks should take different orders
+        seen_per_block = [set() for _ in range(6)]
+        for enc in gen.take():
+            for b, block in enumerate(enc.reshape(6, 3)):
+                seen_per_block[b].add(tuple(block))
+        assert all(len(s) >= 2 for s in seen_per_block)

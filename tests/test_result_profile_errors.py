@@ -1,0 +1,157 @@
+"""Tests for MaxTResult, SectionProfile/SectionTimer and the error hierarchy."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import errors, mt_maxT
+from repro.core.profile import SECTION_NAMES, SectionProfile, SectionTimer
+from repro.core.result import MaxTResult
+from repro.data import synthetic_expression, two_class_labels
+
+
+def _toy_result():
+    return MaxTResult(
+        teststat=np.array([2.0, -5.0, 0.5, np.nan]),
+        rawp=np.array([0.2, 0.01, 0.8, np.nan]),
+        adjp=np.array([0.3, 0.01, 0.9, np.nan]),
+        order=np.array([1, 0, 2, 3]),
+        nperm=100,
+        test="t",
+        side="abs",
+    )
+
+
+class TestMaxTResult:
+    def test_m(self):
+        assert _toy_result().m == 4
+
+    def test_significant_sorted_by_significance(self):
+        res = _toy_result()
+        np.testing.assert_array_equal(res.significant(0.25), [1])
+        np.testing.assert_array_equal(res.significant(0.5), [1, 0])
+
+    def test_significant_excludes_nan(self):
+        res = _toy_result()
+        assert 3 not in res.significant(1.1)
+
+    def test_table_renders_all_rows(self):
+        text = _toy_result().table()
+        assert len(text.splitlines()) == 5  # header + 4 rows
+
+    def test_table_limit(self):
+        text = _toy_result().table(limit=2)
+        assert len(text.splitlines()) == 3
+
+    def test_table_with_names(self):
+        res = _toy_result()
+        res.row_names = ["geneA", "geneB", "geneC", "geneD"]
+        assert "geneB" in res.table(limit=1)
+
+    def test_to_dict_roundtrippable(self):
+        d = _toy_result().to_dict()
+        assert d["nperm"] == 100 and d["test"] == "t"
+        assert len(d["rawp"]) == 4
+
+    def test_repr(self):
+        assert "m=4" in repr(_toy_result())
+
+
+class TestSectionProfile:
+    def test_total(self):
+        p = SectionProfile(1, 2, 3, 4, 5)
+        assert p.total() == 15
+
+    def test_as_row_order(self):
+        p = SectionProfile(1, 2, 3, 4, 5)
+        assert p.as_row() == (1, 2, 3, 4, 5)
+        assert SECTION_NAMES == ("pre_processing", "broadcast_parameters",
+                                 "create_data", "main_kernel",
+                                 "compute_pvalues")
+
+    def test_speedups(self):
+        base = SectionProfile(0, 0, 0, 100, 0)
+        fast = SectionProfile(0, 0, 0, 10, 10)
+        assert fast.speedup_vs(base) == pytest.approx(5.0)
+        assert fast.kernel_speedup_vs(base) == pytest.approx(10.0)
+
+    def test_add(self):
+        a = SectionProfile(1, 1, 1, 1, 1)
+        b = SectionProfile(2, 2, 2, 2, 2)
+        assert (a + b).as_row() == (3, 3, 3, 3, 3)
+
+    def test_zero_kernel_speedup_inf(self):
+        assert SectionProfile().kernel_speedup_vs(SectionProfile()) == float("inf")
+
+
+class TestSectionTimer:
+    def test_records_elapsed(self):
+        timer = SectionTimer()
+        with timer.section("main_kernel"):
+            time.sleep(0.01)
+        assert timer.profile.main_kernel >= 0.01
+
+    def test_accumulates(self):
+        timer = SectionTimer()
+        for _ in range(3):
+            with timer.section("create_data"):
+                pass
+        assert timer.profile.create_data >= 0
+
+    def test_unknown_section(self):
+        timer = SectionTimer()
+        with pytest.raises(ValueError):
+            with timer.section("warmup"):
+                pass
+
+    def test_records_on_exception(self):
+        timer = SectionTimer()
+        with pytest.raises(RuntimeError):
+            with timer.section("main_kernel"):
+                raise RuntimeError("x")
+        assert timer.profile.main_kernel >= 0
+
+    def test_custom_clock(self):
+        ticks = iter([0.0, 5.0])
+        timer = SectionTimer(clock=lambda: next(ticks))
+        with timer.section("compute_pvalues"):
+            pass
+        assert timer.profile.compute_pvalues == 5.0
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (errors.OptionError, errors.DataError,
+                    errors.PermutationError,
+                    errors.CompletePermutationOverflow,
+                    errors.CommunicatorError, errors.CommAbort,
+                    errors.SprintError, errors.ClusterModelError):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        # option/data errors double as ValueError for idiomatic catching
+        assert issubclass(errors.OptionError, ValueError)
+        assert issubclass(errors.DataError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(errors.CommunicatorError, RuntimeError)
+        assert issubclass(errors.SprintError, RuntimeError)
+
+    def test_overflow_carries_payload(self):
+        exc = errors.CompletePermutationOverflow(10**12, 10**9)
+        assert exc.count == 10**12 and exc.limit == 10**9
+        assert "complete permutation count" in str(exc)
+
+    def test_comm_abort_carries_rank(self):
+        exc = errors.CommAbort(3, "died")
+        assert exc.rank == 3 and "rank 3" in str(exc)
+
+    def test_catching_base_catches_everything(self):
+        X, _ = synthetic_expression(5, 8, n_class1=4, seed=1)
+        with pytest.raises(errors.ReproError):
+            mt_maxT(X, two_class_labels(4, 4), test="bogus")
+        with pytest.raises(errors.ReproError):
+            mt_maxT(X, two_class_labels(4, 4), B=-1)

@@ -1,0 +1,224 @@
+"""Tests for the pmaxT platform simulator: shape checks of Tables I-VI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.paper import BENCH_B, PROFILE_TABLES, TABLE6_BIGDATA, TABLE6_PROCS
+from repro.cluster import (
+    PLATFORM_NAMES,
+    get_platform,
+    serial_r_estimate,
+    simulate_pmaxt,
+    simulate_scaling,
+)
+from repro.errors import ClusterModelError
+
+
+class TestSimulationMechanics:
+    def test_run_structure(self):
+        run = simulate_pmaxt(get_platform("hector"), 8)
+        assert run.nprocs == 8
+        assert len(run.traces) == 8
+        assert run.total == pytest.approx(run.profile.total())
+
+    def test_partition_conservation(self):
+        run = simulate_pmaxt(get_platform("hector"), 32)
+        assert sum(t.permutations for t in run.traces) == BENCH_B
+
+    def test_traces_bulk_synchronous(self):
+        """Collective sections end simultaneously on every rank."""
+        run = simulate_pmaxt(get_platform("ecdf"), 8)
+        bcast_ends = {t.span("broadcast_parameters").end for t in run.traces}
+        create_ends = {t.span("create_data").end for t in run.traces}
+        finish = {t.span("compute_pvalues").end for t in run.traces}
+        assert len(bcast_ends) == 1
+        assert len(create_ends) == 1
+        assert len(finish) == 1
+
+    def test_master_has_pre_processing_span(self):
+        run = simulate_pmaxt(get_platform("hector"), 4)
+        assert run.traces[0].span("pre_processing").duration > 0
+        with pytest.raises(KeyError):
+            run.traces[1].span("pre_processing")
+
+    def test_kernel_spans_follow_chunk_sizes(self):
+        run = simulate_pmaxt(get_platform("hector"), 3)
+        durations = [t.span("main_kernel").duration for t in run.traces]
+        perms = [t.permutations for t in run.traces]
+        # same per-permutation rate on every rank (no jitter)
+        rates = [d / p for d, p in zip(durations, perms)]
+        assert max(rates) - min(rates) < 1e-12
+
+    def test_deterministic_without_jitter(self):
+        a = simulate_pmaxt(get_platform("ec2"), 16)
+        b = simulate_pmaxt(get_platform("ec2"), 16)
+        assert a.profile.as_row() == b.profile.as_row()
+
+    def test_jitter_reproducible_by_seed(self):
+        a = simulate_pmaxt(get_platform("ec2"), 16, jitter=0.1, seed=4)
+        b = simulate_pmaxt(get_platform("ec2"), 16, jitter=0.1, seed=4)
+        c = simulate_pmaxt(get_platform("ec2"), 16, jitter=0.1, seed=5)
+        assert a.profile.as_row() == b.profile.as_row()
+        assert a.profile.as_row() != c.profile.as_row()
+
+    def test_jitter_shows_in_pvalues_wait(self):
+        """Stragglers make the master's compute-p-values section grow."""
+        calm = simulate_pmaxt(get_platform("hector"), 64, jitter=0.0)
+        noisy = simulate_pmaxt(get_platform("hector"), 64, jitter=0.3, seed=1)
+        assert noisy.profile.compute_pvalues > calm.profile.compute_pvalues
+
+    def test_procs_validated(self):
+        with pytest.raises(ClusterModelError):
+            simulate_pmaxt(get_platform("quadcore"), 16)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ClusterModelError):
+            simulate_pmaxt(get_platform("hector"), 2, jitter=1.5)
+
+    def test_bad_permutations(self):
+        with pytest.raises(ClusterModelError):
+            simulate_pmaxt(get_platform("hector"), 2, permutations=0)
+
+
+class TestCalibrationAccuracy:
+    """The simulator must reproduce the paper's tables closely."""
+
+    #: Documented model residuals (see EXPERIMENTS.md "Known residuals"):
+    #: the paper's own ECDF kernel slows anomalously at exactly P=128 (its
+    #: kernel speedup drops to 80.4/128), which the per-occupancy contention
+    #: model smooths through.
+    KNOWN_RESIDUALS = {("ecdf", 128): 0.15}
+
+    @pytest.mark.parametrize("name", PLATFORM_NAMES)
+    def test_kernel_within_ten_percent(self, name):
+        table = PROFILE_TABLES[name]
+        runs = simulate_scaling(get_platform(name))
+        for run, row in zip(runs, table.rows):
+            bound = self.KNOWN_RESIDUALS.get((name, run.nprocs), 0.10)
+            err = abs(run.kernel - row.main_kernel) / row.main_kernel
+            assert err < bound, f"{name} P={run.nprocs}: {err:.1%}"
+
+    @pytest.mark.parametrize("name", PLATFORM_NAMES)
+    def test_total_speedup_within_ten_percent(self, name):
+        table = PROFILE_TABLES[name]
+        runs = simulate_scaling(get_platform(name))
+        base = runs[0]
+        for run, row in zip(runs, table.rows):
+            got = run.speedup_vs(base)
+            err = abs(got - row.speedup_total) / row.speedup_total
+            assert err < 0.10, f"{name} P={run.nprocs}: {got:.2f} vs {row.speedup_total}"
+
+    @pytest.mark.parametrize("name", PLATFORM_NAMES)
+    def test_kernel_speedup_within_ten_percent(self, name):
+        table = PROFILE_TABLES[name]
+        runs = simulate_scaling(get_platform(name))
+        base = runs[0]
+        for run, row in zip(runs, table.rows):
+            bound = self.KNOWN_RESIDUALS.get((name, run.nprocs), 0.10)
+            got = run.kernel_speedup_vs(base)
+            err = abs(got - row.speedup_kernel) / row.speedup_kernel
+            assert err < bound, f"{name} P={run.nprocs}"
+
+
+class TestPaperShapeClaims:
+    """Section 4.4's qualitative observations, as assertions."""
+
+    def test_hector_near_optimal_kernel_scaling(self):
+        runs = simulate_scaling(get_platform("hector"))
+        base = runs[0]
+        s512 = next(r for r in runs if r.nprocs == 512)
+        assert s512.kernel_speedup_vs(base) > 450
+
+    def test_total_vs_kernel_divergence_grows_with_p(self):
+        runs = simulate_scaling(get_platform("hector"))
+        base = runs[0]
+        ratios = [r.kernel_speedup_vs(base) / r.speedup_vs(base)
+                  for r in runs]
+        assert ratios[-1] > ratios[1]  # divergence grows
+        assert ratios[-1] > 1.3
+
+    def test_ecdf_dropoff_between_4_and_8(self):
+        runs = {r.nprocs: r for r in simulate_scaling(get_platform("ecdf"))}
+        base = runs[1]
+        eff4 = runs[4].speedup_vs(base) / 4
+        eff8 = runs[8].speedup_vs(base) / 8
+        assert eff8 < eff4 - 0.1
+
+    def test_ec2_dropoff_between_2_and_4(self):
+        runs = {r.nprocs: r for r in simulate_scaling(get_platform("ec2"))}
+        base = runs[1]
+        eff2 = runs[2].speedup_vs(base) / 2
+        eff4 = runs[4].speedup_vs(base) / 4
+        assert eff4 < eff2 - 0.1
+
+    def test_ec2_network_sections_explode(self):
+        runs = {r.nprocs: r for r in simulate_scaling(get_platform("ec2"))}
+        assert runs[32].profile.broadcast_parameters > \
+            50 * runs[2].profile.broadcast_parameters
+        assert runs[32].profile.compute_pvalues > 1.0
+
+    def test_hector_network_sections_stay_small(self):
+        runs = {r.nprocs: r
+                for r in simulate_scaling(get_platform("hector"))}
+        assert runs[512].profile.broadcast_parameters < 0.1
+
+    def test_ness_flattens_at_full_box(self):
+        runs = {r.nprocs: r for r in simulate_scaling(get_platform("ness"))}
+        base = runs[1]
+        assert runs[16].speedup_vs(base) < 12
+        assert runs[8].speedup_vs(base) > 7
+
+    def test_quadcore_useful_but_sublinear_at_4(self):
+        runs = {r.nprocs: r
+                for r in simulate_scaling(get_platform("quadcore"))}
+        base = runs[1]
+        s4 = runs[4].speedup_vs(base)
+        assert 3.0 < s4 < 3.7  # paper: 3.37
+
+    def test_speedup_monotone_in_p_everywhere(self):
+        for name in PLATFORM_NAMES:
+            runs = simulate_scaling(get_platform(name))
+            base = runs[0]
+            speedups = [r.speedup_vs(base) for r in runs]
+            assert all(b > a for a, b in zip(speedups, speedups[1:])), name
+
+
+class TestTable6Shape:
+    def test_totals_within_fifteen_percent(self):
+        platform = get_platform("hector")
+        for ref in TABLE6_BIGDATA:
+            run = simulate_pmaxt(platform, TABLE6_PROCS, rows=ref.n_genes,
+                                 permutations=ref.permutations)
+            err = abs(run.total - ref.total_seconds) / ref.total_seconds
+            assert err < 0.15, f"{ref.n_genes}x{ref.permutations}: {err:.1%}"
+
+    def test_doubling_rows_doubles_time(self):
+        platform = get_platform("hector")
+        t36 = simulate_pmaxt(platform, 256, rows=36_612,
+                             permutations=500_000).total
+        t73 = simulate_pmaxt(platform, 256, rows=73_224,
+                             permutations=500_000).total
+        assert t73 / t36 == pytest.approx(2.0, abs=0.2)
+
+    def test_linear_in_permutations(self):
+        platform = get_platform("hector")
+        t1 = simulate_pmaxt(platform, 256, rows=36_612,
+                            permutations=500_000).total
+        t4 = simulate_pmaxt(platform, 256, rows=36_612,
+                            permutations=2_000_000).total
+        assert t4 / t1 == pytest.approx(4.0, abs=0.4)
+
+    def test_parallel_vs_serial_r_factor(self):
+        """The paper's punchline: hours of serial R become minutes."""
+        platform = get_platform("hector")
+        run = simulate_pmaxt(platform, 256, rows=36_612,
+                             permutations=500_000)
+        serial = serial_r_estimate(500_000, 36_612)
+        assert serial / run.total > 200  # paper: 20 750 / 73.18 ≈ 284
+
+    def test_serial_estimates_match_paper_exactly(self):
+        for ref in TABLE6_BIGDATA:
+            est = serial_r_estimate(ref.permutations, ref.n_genes)
+            assert est == pytest.approx(ref.serial_estimate_seconds, rel=1e-6)

@@ -1,0 +1,194 @@
+"""Tests for the SPRINT framework layer (paper Figure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import mt_maxT
+from repro.data import synthetic_expression, two_class_labels
+from repro.errors import SprintError
+from repro.mpi import run_spmd
+from repro.sprint import (
+    FunctionRegistry,
+    SprintFramework,
+    SprintSession,
+    default_registry,
+)
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        reg = default_registry()
+        assert "pmaxT" in reg and "pcor" in reg and "papply" in reg
+        assert len(reg) == 3
+
+    def test_register_and_lookup(self):
+        reg = FunctionRegistry()
+        fn = lambda comm: comm.rank  # noqa: E731
+        reg.register("f", fn)
+        assert reg.lookup("f") is fn
+        assert reg.names() == ("f",)
+
+    def test_duplicate_rejected(self):
+        reg = FunctionRegistry()
+        reg.register("f", lambda comm: None)
+        with pytest.raises(SprintError, match="already registered"):
+            reg.register("f", lambda comm: None)
+
+    def test_overwrite_allowed_explicitly(self):
+        reg = FunctionRegistry()
+        reg.register("f", lambda comm: 1)
+        reg.register("f", lambda comm: 2, overwrite=True)
+        assert reg.lookup("f")(None) == 2
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SprintError, match="unknown parallel function"):
+            FunctionRegistry().lookup("ghost")
+
+    def test_bad_name(self):
+        with pytest.raises(SprintError):
+            FunctionRegistry().register("", lambda comm: None)
+
+    def test_non_callable(self):
+        with pytest.raises(SprintError):
+            FunctionRegistry().register("x", 42)
+
+
+class TestFrameworkSpmd:
+    def test_master_worker_call(self):
+        """The full Figure-1 flow inside an SPMD world."""
+        reg = FunctionRegistry()
+        reg.register("sumranks",
+                     lambda comm: comm.allreduce(comm.rank))
+
+        def program(comm):
+            fw = SprintFramework(comm, reg)
+            master = fw.init()
+            if master is not None:
+                total = master.call("sumranks")
+                master.shutdown()
+                return total
+            return fw.commands_served
+
+        results = run_spmd(program, 4)
+        assert results[0] == 0 + 1 + 2 + 3
+        # every worker served exactly one command
+        assert results[1:] == [1, 1, 1]
+
+    def test_multiple_calls_one_session(self):
+        reg = FunctionRegistry()
+        reg.register("echo", lambda comm, x: x * comm.size)
+
+        def program(comm):
+            fw = SprintFramework(comm, reg)
+            master = fw.init()
+            if master is not None:
+                out = [master.call("echo", i) for i in range(5)]
+                master.shutdown()
+                return out
+            return None
+
+        assert run_spmd(program, 3)[0] == [0, 3, 6, 9, 12]
+
+    def test_unknown_function_fails_before_broadcast(self):
+        def program(comm):
+            fw = SprintFramework(comm)
+            master = fw.init()
+            if master is not None:
+                try:
+                    with pytest.raises(SprintError):
+                        master.call("ghost")
+                finally:
+                    master.shutdown()
+            return fw.commands_served
+
+        served = run_spmd(program, 3)
+        # the failed call never reached the workers
+        assert served[1:] == [0, 0]
+
+    def test_call_after_shutdown_rejected(self):
+        def program(comm):
+            fw = SprintFramework(comm)
+            master = fw.init()
+            if master is not None:
+                master.shutdown()
+                with pytest.raises(SprintError, match="shut down"):
+                    master.call("pmaxT", None, None)
+            return True
+
+        assert all(run_spmd(program, 2))
+
+    def test_master_handle_context_manager(self):
+        def program(comm):
+            fw = SprintFramework(comm)
+            master = fw.init()
+            if master is not None:
+                with master as m:
+                    assert m.nworkers == comm.size - 1
+            return True
+
+        assert all(run_spmd(program, 3))
+
+
+class TestPapply:
+    def test_papply_orders_results(self):
+        def program(comm):
+            fw = SprintFramework(comm)
+            master = fw.init()
+            if master is not None:
+                out = master.call("papply", lambda x: x * x, list(range(11)))
+                master.shutdown()
+                return out
+            return None
+
+        assert run_spmd(program, 4)[0] == [x * x for x in range(11)]
+
+
+class TestSession:
+    def test_pmaxt_via_session_matches_serial(self):
+        X, _ = synthetic_expression(30, 12, n_class1=6, seed=81)
+        labels = two_class_labels(6, 6)
+        serial = mt_maxT(X, labels, B=120, seed=7)
+        with SprintSession(nprocs=3) as sprint:
+            res = sprint.pmaxT(X, labels, B=120, seed=7)
+        np.testing.assert_array_equal(res.rawp, serial.rawp)
+        np.testing.assert_array_equal(res.adjp, serial.adjp)
+        assert res.nranks == 3
+
+    def test_session_multiple_calls(self):
+        X, _ = synthetic_expression(20, 10, n_class1=5, seed=82)
+        labels = two_class_labels(5, 5)
+        with SprintSession(nprocs=2) as sprint:
+            a = sprint.pmaxT(X, labels, B=60, seed=1)
+            b = sprint.call("papply", len, [[1], [1, 2]])
+            c = sprint.pmaxT(X, labels, B=60, seed=2)
+        assert a.nperm == c.nperm == 60
+        assert b == [1, 2]
+
+    def test_session_size_one(self):
+        X, _ = synthetic_expression(10, 8, n_class1=4, seed=83)
+        labels = two_class_labels(4, 4)
+        with SprintSession(nprocs=1) as sprint:
+            res = sprint.pmaxT(X, labels, B=40)
+        assert res.nranks == 1
+
+    def test_call_before_start_rejected(self):
+        session = SprintSession(nprocs=2)
+        with pytest.raises(SprintError, match="not started"):
+            session.call("pmaxT", None, None)
+
+    def test_double_start_rejected(self):
+        with SprintSession(nprocs=2) as sprint:
+            with pytest.raises(SprintError, match="already started"):
+                sprint.start()
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(SprintError):
+            SprintSession(nprocs=0)
+
+    def test_custom_registry(self):
+        reg = default_registry()
+        reg.register("worldsize", lambda comm: comm.size)
+        with SprintSession(nprocs=3, registry=reg) as sprint:
+            assert sprint.call("worldsize") == 3

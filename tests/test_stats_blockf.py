@@ -1,0 +1,125 @@
+"""Tests for the block-adjusted F statistic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import block_labels, synthetic_blocked
+from repro.errors import DataError
+from repro.stats import BlockF, FStat
+
+from reference import block_f_row
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(123)
+    X = rng.normal(size=(15, 12))  # 4 blocks x 3 treatments
+    return X, block_labels(4, 3)
+
+
+class TestAgainstBruteforce:
+    def test_observed_matches(self, data):
+        X, labels = data
+        ours = BlockF(X, labels).observed()
+        for i in range(X.shape[0]):
+            ref = block_f_row(X[i], labels, 3)
+            assert ours[i] == pytest.approx(ref, rel=1e-9), i
+
+    def test_shuffled_observed_labels(self):
+        rng = np.random.default_rng(17)
+        X = rng.normal(size=(10, 12))
+        labels = block_labels(4, 3, seed=18)
+        ours = BlockF(X, labels).observed()
+        for i in range(10):
+            ref = block_f_row(X[i], labels, 3)
+            assert ours[i] == pytest.approx(ref, rel=1e-9), i
+
+    def test_permuted_matches(self, data):
+        X, labels = data
+        stat = BlockF(X, labels)
+        rng = np.random.default_rng(19)
+        for _ in range(5):
+            perm = np.concatenate([rng.permutation(3) for _ in range(4)])
+            ours = stat.batch(perm)[:, 0]
+            for i in range(X.shape[0]):
+                ref = block_f_row(X[i], perm, 3)
+                assert ours[i] == pytest.approx(ref, rel=1e-9), i
+
+
+class TestBlockAdjustment:
+    def test_block_effect_removed(self):
+        """Adding a pure per-block shift must not change the statistic."""
+        rng = np.random.default_rng(20)
+        X = rng.normal(size=(8, 12))
+        labels = block_labels(4, 3)
+        shift = np.repeat(rng.normal(size=4) * 10, 3)  # constant per block
+        a = BlockF(X, labels).observed()
+        b = BlockF(X + shift, labels).observed()
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+
+    def test_blockf_beats_plain_f_under_block_noise(self):
+        X, truth = synthetic_blocked(300, 8, 3, de_fraction=0.15,
+                                     effect_size=1.0, block_sd=3.0, seed=21)
+        labels = block_labels(8, 3)
+        bf = BlockF(X, labels).observed()
+        f = FStat(X, labels).observed()
+        de = truth.is_de(300)
+        assert np.nanmedian(bf[de]) > np.nanmedian(f[de])
+
+    def test_nonnegative(self, data):
+        X, labels = data
+        out = BlockF(X, labels).observed()
+        assert (out[np.isfinite(out)] >= 0).all()
+
+
+class TestMissing:
+    def test_block_with_nan_dropped(self):
+        rng = np.random.default_rng(22)
+        X = rng.normal(size=(6, 15))  # 5 blocks x 3
+        X[2, 4] = np.nan  # kills block 1 of row 2
+        labels = block_labels(5, 3)
+        ours = BlockF(X, labels).observed()
+        for i in range(6):
+            ref = block_f_row(X[i], labels, 3)
+            assert ours[i] == pytest.approx(ref, rel=1e-9), i
+
+    def test_too_few_blocks_nan(self):
+        X = np.random.default_rng(23).normal(size=(1, 9))
+        X[0, [0, 3]] = np.nan  # kills blocks 0 and 1, leaving one
+        out = BlockF(X, block_labels(3, 3)).observed()
+        assert np.isnan(out[0])
+
+
+class TestDesignValidation:
+    def test_rejects_single_block(self):
+        with pytest.raises(DataError):
+            BlockF(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+    def test_rejects_invalid_block_content(self):
+        with pytest.raises(DataError):
+            BlockF(np.zeros((2, 6)), np.array([0, 1, 1, 0, 1, 2]))
+
+    def test_rejects_single_treatment(self):
+        with pytest.raises(DataError):
+            BlockF(np.zeros((2, 4)), np.zeros(4, dtype=int))
+
+    def test_rejects_indivisible_columns(self):
+        with pytest.raises(DataError):
+            BlockF(np.zeros((2, 7)), np.array([0, 1, 2, 0, 1, 2, 0]))
+
+
+class TestBatch:
+    def test_batch_matches_loop(self, data):
+        X, labels = data
+        stat = BlockF(X, labels)
+        rng = np.random.default_rng(24)
+        perms = np.stack([
+            np.concatenate([rng.permutation(3) for _ in range(4)])
+            for _ in range(5)
+        ])
+        batch = stat.batch(perms)
+        for j in range(5):
+            np.testing.assert_allclose(batch[:, j], stat.batch(perms[j])[:, 0],
+                                       rtol=1e-12)

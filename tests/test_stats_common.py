@@ -1,0 +1,135 @@
+"""Tests for the statistic registry, NA utilities and nonpara transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import two_class_labels
+from repro.errors import OptionError
+from repro.stats import (
+    MT_NA_NUM,
+    STATISTICS,
+    WelchT,
+    available_tests,
+    make_statistic,
+    row_ranks,
+    to_nan,
+    valid_mask,
+)
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        assert set(available_tests()) == {
+            "t", "t.equalvar", "wilcoxon", "f", "pairt", "blockf"
+        }
+
+    def test_registry_names_match_classes(self):
+        for name, cls in STATISTICS.items():
+            assert cls.name == name
+
+    def test_make_statistic_dispatch(self):
+        X = np.random.default_rng(0).normal(size=(5, 8))
+        stat = make_statistic("t", X, two_class_labels(4, 4))
+        assert isinstance(stat, WelchT)
+
+    def test_unknown_test_raises_option_error(self):
+        with pytest.raises(OptionError, match="unknown test"):
+            make_statistic("anova", np.zeros((2, 4)), two_class_labels(2, 2))
+
+
+class TestNaUtilities:
+    def test_to_nan_replaces_code(self):
+        X = np.array([[1.0, MT_NA_NUM, 3.0]])
+        out = to_nan(X)
+        assert np.isnan(out[0, 1]) and out[0, 0] == 1.0
+
+    def test_to_nan_keeps_existing_nan(self):
+        X = np.array([[np.nan, 2.0]])
+        out = to_nan(X, na=None)
+        assert np.isnan(out[0, 0])
+
+    def test_to_nan_copies(self):
+        X = np.array([[1.0, 2.0]])
+        out = to_nan(X)
+        out[0, 0] = 99
+        assert X[0, 0] == 1.0
+
+    def test_to_nan_casts_ints(self):
+        out = to_nan(np.array([[1, 2], [3, 4]]))
+        assert out.dtype == np.float64
+
+    def test_valid_mask(self):
+        X = np.array([[1.0, np.nan], [np.nan, 2.0]])
+        np.testing.assert_array_equal(valid_mask(X),
+                                      [[True, False], [False, True]])
+
+    def test_row_ranks_basic(self):
+        X = np.array([[30.0, 10.0, 20.0]])
+        np.testing.assert_array_equal(row_ranks(X), [[3.0, 1.0, 2.0]])
+
+    def test_row_ranks_ties_average(self):
+        X = np.array([[1.0, 2.0, 2.0, 4.0]])
+        np.testing.assert_array_equal(row_ranks(X), [[1.0, 2.5, 2.5, 4.0]])
+
+    def test_row_ranks_nan_excluded(self):
+        X = np.array([[5.0, np.nan, 1.0]])
+        np.testing.assert_array_equal(row_ranks(X), [[2.0, 0.0, 1.0]])
+
+    def test_row_ranks_rows_independent(self):
+        X = np.array([[1.0, 2.0], [2.0, 1.0]])
+        np.testing.assert_array_equal(row_ranks(X), [[1.0, 2.0], [2.0, 1.0]])
+
+
+class TestNonpara:
+    def test_nonpara_t_equals_t_on_ranks(self):
+        rng = np.random.default_rng(30)
+        X = rng.normal(size=(12, 10))
+        labels = two_class_labels(5, 5)
+        a = WelchT(X, labels, nonpara="y").observed()
+        b = WelchT(row_ranks(X), labels, nonpara="n").observed()
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_nonpara_outlier_robustness(self):
+        """An extreme outlier wrecks t but barely moves rank-based t."""
+        rng = np.random.default_rng(31)
+        X = rng.normal(size=(1, 12))
+        labels = two_class_labels(6, 6)
+        base_np = WelchT(X, labels, nonpara="y").observed()[0]
+        X_out = X.copy()
+        X_out[0, 0] += 1e6
+        out_p = WelchT(X_out, labels, nonpara="n").observed()[0]
+        out_np = WelchT(X_out, labels, nonpara="y").observed()[0]
+        # With one dominant outlier the parametric |t| is pinned near 1
+        # regardless of any signal (the outlier owns the variance)...
+        assert abs(out_p) < 1.2
+        # ...while the rank statistic only sees one rank change.
+        assert abs(out_np - base_np) < 1.5
+
+    def test_nonpara_with_missing(self):
+        X = np.array([[1.0, np.nan, 3.0, 2.0, 5.0, 4.0, 8.0, 7.0]])
+        labels = two_class_labels(4, 4)
+        out = WelchT(X, labels, nonpara="y").observed()
+        assert np.isfinite(out[0])
+
+
+class TestObservedEncoding:
+    def test_label_statistics_expose_labels(self):
+        X = np.random.default_rng(1).normal(size=(3, 6))
+        labels = two_class_labels(3, 3)
+        stat = make_statistic("t", X, labels)
+        np.testing.assert_array_equal(stat.observed_encoding(), labels)
+
+    def test_pairt_exposes_unit_signs(self):
+        from repro.data import paired_labels
+
+        X = np.random.default_rng(2).normal(size=(3, 8))
+        stat = make_statistic("pairt", X, paired_labels(4))
+        np.testing.assert_array_equal(stat.observed_encoding(), np.ones(4))
+
+    def test_observed_labels_readonly(self):
+        X = np.random.default_rng(3).normal(size=(3, 6))
+        stat = make_statistic("t", X, two_class_labels(3, 3))
+        with pytest.raises(ValueError):
+            stat.observed_labels[0] = 5

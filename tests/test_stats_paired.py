@@ -1,0 +1,118 @@
+"""Tests for the paired-t statistic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.data import paired_labels, synthetic_paired
+from repro.errors import DataError
+from repro.stats import PairedT
+
+from reference import paired_t_row
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(99)
+    X = rng.normal(size=(18, 16))  # 8 pairs
+    return X, paired_labels(8)
+
+
+class TestAgainstScipy:
+    def test_observed_matches_ttest_rel(self, data):
+        X, labels = data
+        ours = PairedT(X, labels).observed()
+        # class-1 members are the odd columns under paired_labels(8)
+        ref = sps.ttest_rel(X[:, 1::2], X[:, 0::2], axis=1).statistic
+        np.testing.assert_allclose(ours, ref, rtol=1e-10)
+
+    def test_flipped_pair_labels(self):
+        rng = np.random.default_rng(10)
+        X = rng.normal(size=(10, 12))
+        labels = paired_labels(6, flipped=True)  # (1,0) within each pair
+        ours = PairedT(X, labels).observed()
+        ref = sps.ttest_rel(X[:, 0::2], X[:, 1::2], axis=1).statistic
+        np.testing.assert_allclose(ours, ref, rtol=1e-10)
+
+
+class TestSignPermutation:
+    def test_all_minus_negates(self, data):
+        X, labels = data
+        stat = PairedT(X, labels)
+        plus = stat.batch(np.ones(8, dtype=int))[:, 0]
+        minus = stat.batch(-np.ones(8, dtype=int))[:, 0]
+        np.testing.assert_allclose(plus, -minus, rtol=1e-12)
+
+    def test_signs_match_bruteforce(self, data):
+        X, labels = data
+        stat = PairedT(X, labels)
+        rng = np.random.default_rng(13)
+        for _ in range(6):
+            signs = rng.choice([-1, 1], size=8)
+            ours = stat.batch(signs)[:, 0]
+            for i in range(X.shape[0]):
+                ref = paired_t_row(X[i], labels, signs)
+                assert ours[i] == pytest.approx(ref, rel=1e-9), i
+
+    def test_rejects_non_sign_encodings(self, data):
+        X, labels = data
+        stat = PairedT(X, labels)
+        with pytest.raises(DataError):
+            stat.batch(np.array([1, 1, 0, 1, 1, 1, 1, 1]))
+
+    def test_width_is_npairs(self, data):
+        X, labels = data
+        assert PairedT(X, labels).width == 8
+
+
+class TestMissing:
+    def test_nan_pair_dropped(self):
+        rng = np.random.default_rng(14)
+        X = rng.normal(size=(12, 10))
+        X[3, 0] = np.nan  # kills pair 0 of row 3 only
+        labels = paired_labels(5)
+        stat = PairedT(X, labels)
+        ours = stat.observed()
+        for i in range(12):
+            ref = paired_t_row(X[i], labels, np.ones(5))
+            assert ours[i] == pytest.approx(ref, rel=1e-9), i
+
+    def test_too_few_pairs_nan(self):
+        X = np.random.default_rng(15).normal(size=(1, 6))
+        X[0, [0, 2]] = np.nan  # only pair 2 survives
+        out = PairedT(X, paired_labels(3)).observed()
+        assert np.isnan(out[0])
+
+    def test_zero_variance_differences_nan(self):
+        X = np.zeros((1, 8))
+        X[0, 1::2] = 1.0  # every difference identical
+        out = PairedT(X, paired_labels(4)).observed()
+        assert np.isnan(out[0])
+
+
+class TestDesignValidation:
+    def test_rejects_odd_columns(self):
+        with pytest.raises(DataError):
+            PairedT(np.zeros((2, 5)), np.array([0, 1, 0, 1, 0]))
+
+    def test_rejects_bad_pair_layout(self):
+        with pytest.raises(DataError):
+            PairedT(np.zeros((2, 4)), np.array([0, 0, 1, 1]))
+
+
+class TestPower:
+    def test_paired_beats_unpaired_on_correlated_pairs(self):
+        """The design reason pairt exists: shared subject effects cancel."""
+        from repro.stats import WelchT
+
+        X, truth = synthetic_paired(300, 12, de_fraction=0.15,
+                                    effect_size=1.0, pair_correlation=0.85,
+                                    seed=16)
+        labels = paired_labels(12)
+        paired_stats = np.abs(PairedT(X, labels).observed())
+        welch_stats = np.abs(WelchT(X, labels).observed())
+        de = truth.is_de(300)
+        # Median |t| on the DE genes should be clearly larger for pairt.
+        assert np.nanmedian(paired_stats[de]) > np.nanmedian(welch_stats[de])

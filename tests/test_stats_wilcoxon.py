@@ -1,0 +1,100 @@
+"""Tests for the standardized rank-sum Wilcoxon statistic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.data import inject_missing, two_class_labels
+from repro.stats import Wilcoxon
+
+from reference import wilcoxon_row
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(101)
+    X = rng.normal(size=(20, 16))
+    return X, two_class_labels(8, 8)
+
+
+class TestAgainstScipy:
+    def test_matches_ranksums_tie_free(self, data):
+        """scipy.ranksums standardizes the same way on tie-free data."""
+        X, labels = data
+        ours = Wilcoxon(X, labels).observed()
+        for i in range(X.shape[0]):
+            ref = sps.ranksums(X[i, labels == 1], X[i, labels == 0]).statistic
+            assert ours[i] == pytest.approx(ref, rel=1e-10), i
+
+    def test_matches_bruteforce_with_ties(self):
+        rng = np.random.default_rng(7)
+        X = rng.integers(0, 4, size=(15, 12)).astype(float)  # heavy ties
+        labels = two_class_labels(6, 6)
+        ours = Wilcoxon(X, labels).observed()
+        for i in range(15):
+            ref = wilcoxon_row(X[i], labels)
+            if np.isnan(ref):
+                assert np.isnan(ours[i])
+            else:
+                assert ours[i] == pytest.approx(ref, rel=1e-10), i
+
+
+class TestMissing:
+    def test_nan_matches_bruteforce(self):
+        rng = np.random.default_rng(8)
+        X = inject_missing(rng.normal(size=(18, 14)), 0.15, seed=9)
+        labels = two_class_labels(7, 7)
+        ours = Wilcoxon(X, labels).observed()
+        for i in range(18):
+            ref = wilcoxon_row(X[i], labels)
+            if np.isnan(ref):
+                assert np.isnan(ours[i])
+            else:
+                assert ours[i] == pytest.approx(ref, rel=1e-10), i
+
+    def test_empty_class_is_nan(self):
+        X = np.arange(6, dtype=float)[None, :].copy()
+        X[0, 3:] = np.nan
+        out = Wilcoxon(X, two_class_labels(3, 3)).observed()
+        assert np.isnan(out[0])
+
+
+class TestRankInvariance:
+    def test_monotone_transform_invariant(self, data):
+        """Rank statistics are invariant under monotone transforms."""
+        X, labels = data
+        a = Wilcoxon(X, labels).observed()
+        b = Wilcoxon(np.exp(X), labels).observed()
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_nonpara_flag_is_noop(self, data):
+        X, labels = data
+        a = Wilcoxon(X, labels, nonpara="n").observed()
+        b = Wilcoxon(X, labels, nonpara="y").observed()
+        np.testing.assert_array_equal(a, b)
+
+    def test_all_tied_row_is_zero(self):
+        # No tie correction (like multtest): the scale stays positive, the
+        # rank sum equals its expectation, so the statistic is exactly 0.
+        X = np.full((1, 8), 3.0)
+        out = Wilcoxon(X, two_class_labels(4, 4)).observed()
+        assert out[0] == 0.0
+
+
+class TestBatch:
+    def test_batch_matches_loop(self, data):
+        X, labels = data
+        stat = Wilcoxon(X, labels)
+        rng = np.random.default_rng(11)
+        perms = np.stack([rng.permutation(labels) for _ in range(5)])
+        batch = stat.batch(perms)
+        for j in range(5):
+            np.testing.assert_allclose(batch[:, j], stat.batch(perms[j])[:, 0])
+
+    def test_symmetry_under_class_swap(self, data):
+        X, labels = data
+        a = Wilcoxon(X, labels).observed()
+        b = Wilcoxon(X, 1 - labels).observed()
+        np.testing.assert_allclose(a, -b, rtol=1e-10)

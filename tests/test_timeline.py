@@ -1,0 +1,50 @@
+"""Tests for the simulated-run timeline renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import get_platform, render_timeline, simulate_pmaxt
+
+
+class TestRenderTimeline:
+    @staticmethod
+    def _rank_rows(text):
+        return [l for l in text.splitlines() if l.strip().startswith("rank")]
+
+    def test_one_row_per_rank(self):
+        run = simulate_pmaxt(get_platform("hector"), 4)
+        text = render_timeline(run)
+        assert len(self._rank_rows(text)) == 4
+        assert "legend" in text
+
+    def test_kernel_dominates(self):
+        run = simulate_pmaxt(get_platform("hector"), 2)
+        text = render_timeline(run)
+        # the kernel glyph must dominate the drawn area (99%+ of runtime)
+        assert text.count("#") > 100
+
+    def test_straggler_wait_visible_with_jitter(self):
+        run = simulate_pmaxt(get_platform("ec2"), 8, jitter=0.3, seed=2)
+        lines = [l for l in render_timeline(run).splitlines() if "rank" in l]
+        gather_lengths = [l.count("g") for l in lines]
+        # jittered kernels => unequal waits inside compute-p-values
+        assert max(gather_lengths) > min(gather_lengths)
+
+    def test_max_ranks_truncation(self):
+        run = simulate_pmaxt(get_platform("hector"), 64)
+        text = render_timeline(run, max_ranks=8)
+        assert len(self._rank_rows(text)) == 8
+        assert "56 more ranks" in text
+
+    def test_header_carries_workload(self):
+        run = simulate_pmaxt(get_platform("ness"), 4)
+        text = render_timeline(run)
+        assert "ness" in text and "P=4" in text and "150,000" in text
+
+    def test_width_respected(self):
+        run = simulate_pmaxt(get_platform("hector"), 2)
+        for line in render_timeline(run, width=40).splitlines():
+            if line.strip().startswith("rank"):
+                bar = line.split("|")[1]
+                assert len(bar) == 40

@@ -1,0 +1,88 @@
+"""Tests for the in-place non-square transpose (future-work item 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transpose import transpose_copy, transpose_inplace
+from repro.errors import DataError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m,n", [
+        (1, 1), (1, 7), (7, 1), (2, 3), (3, 2), (4, 4), (5, 8), (8, 5),
+        (6, 102), (13, 29),
+    ])
+    def test_matches_numpy(self, m, n):
+        X = np.arange(m * n, dtype=np.float64).reshape(m, n)
+        expected = X.T.copy()
+        out = transpose_inplace(X.copy())
+        np.testing.assert_array_equal(out, expected)
+
+    def test_random_values(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(17, 23))
+        out = transpose_inplace(X.copy())
+        np.testing.assert_array_equal(out, X.T)
+
+    def test_paper_shape(self):
+        """The actual pmaxT transform: samples x genes <-> genes x samples."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(610, 76))
+        out = transpose_inplace(X.copy())
+        np.testing.assert_array_equal(out, X.T)
+
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_numpy(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(m, n))
+        np.testing.assert_array_equal(transpose_inplace(X.copy()), X.T)
+
+    @given(st.integers(2, 10), st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_involution(self, m, n):
+        X = np.random.default_rng(m * 100 + n).normal(size=(m, n))
+        once = transpose_inplace(X.copy())
+        twice = transpose_inplace(once)
+        np.testing.assert_array_equal(twice, X)
+
+
+class TestInPlaceness:
+    def test_shares_buffer(self):
+        X = np.arange(12, dtype=np.float64).reshape(3, 4)
+        out = transpose_inplace(X)
+        assert out.base is not None
+        assert out.base is X or out.base is X.base or \
+            np.shares_memory(out, X)
+
+    def test_no_second_array_for_vectors(self):
+        X = np.arange(5, dtype=np.float64).reshape(1, 5)
+        out = transpose_inplace(X)
+        assert np.shares_memory(out, X)
+        assert out.shape == (5, 1)
+
+
+class TestValidation:
+    def test_rejects_1d(self):
+        with pytest.raises(DataError):
+            transpose_inplace(np.zeros(4))
+
+    def test_rejects_non_contiguous(self):
+        X = np.zeros((4, 6))[:, ::2]
+        with pytest.raises(DataError):
+            transpose_inplace(X)
+
+    def test_copy_baseline(self):
+        X = np.arange(6, dtype=float).reshape(2, 3)
+        out = transpose_copy(X)
+        np.testing.assert_array_equal(out, X.T)
+        assert not np.shares_memory(out, X)
+        assert out.flags.c_contiguous
+
+    def test_copy_rejects_1d(self):
+        with pytest.raises(DataError):
+            transpose_copy(np.zeros(3))

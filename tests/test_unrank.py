@@ -1,0 +1,218 @@
+"""Unit and property tests for combinatorial (un)ranking."""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from math import comb, factorial
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PermutationError
+from repro.permute.unrank import (
+    binomial,
+    multinomial,
+    rank_combination,
+    rank_multiset,
+    rank_permutation,
+    rank_signs,
+    unrank_combination,
+    unrank_multiset,
+    unrank_permutation,
+    unrank_signs,
+)
+
+
+class TestBinomialMultinomial:
+    def test_binomial_matches_math(self):
+        for n in range(10):
+            for k in range(n + 1):
+                assert binomial(n, k) == comb(n, k)
+
+    def test_binomial_out_of_range_is_zero(self):
+        assert binomial(5, 6) == 0
+        assert binomial(5, -1) == 0
+        assert binomial(-1, 0) == 0
+
+    def test_multinomial_binary_case(self):
+        assert multinomial([3, 2]) == comb(5, 2)
+
+    def test_multinomial_three_way(self):
+        # 9! / (2! 3! 4!)
+        assert multinomial([2, 3, 4]) == factorial(9) // (2 * 6 * 24)
+
+    def test_multinomial_empty_class(self):
+        assert multinomial([0, 3]) == 1
+
+    def test_multinomial_negative_raises(self):
+        with pytest.raises(PermutationError):
+            multinomial([2, -1])
+
+    def test_multinomial_large_exact(self):
+        # 76 choose 38 — the paper's sample count; must be exact int.
+        assert multinomial([38, 38]) == comb(76, 38)
+
+
+class TestCombinations:
+    def test_enumeration_order_is_lexicographic(self):
+        n, k = 6, 3
+        expected = list(combinations(range(n), k))
+        got = [tuple(unrank_combination(r, n, k)) for r in range(comb(n, k))]
+        assert got == expected
+
+    def test_first_and_last(self):
+        assert list(unrank_combination(0, 5, 2)) == [0, 1]
+        assert list(unrank_combination(comb(5, 2) - 1, 5, 2)) == [3, 4]
+
+    def test_roundtrip_exhaustive(self):
+        n, k = 7, 4
+        for r in range(comb(n, k)):
+            assert rank_combination(unrank_combination(r, n, k), n) == r
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(PermutationError):
+            unrank_combination(comb(6, 3), 6, 3)
+        with pytest.raises(PermutationError):
+            unrank_combination(-1, 6, 3)
+
+    def test_rank_rejects_unsorted(self):
+        with pytest.raises(PermutationError):
+            rank_combination([2, 1], 4)
+
+    def test_rank_rejects_out_of_range_indices(self):
+        with pytest.raises(PermutationError):
+            rank_combination([0, 9], 4)
+
+    def test_full_subset(self):
+        assert list(unrank_combination(0, 4, 4)) == [0, 1, 2, 3]
+
+    def test_empty_subset(self):
+        assert list(unrank_combination(0, 4, 0)) == []
+
+    @given(st.integers(1, 12), st.data())
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, n, data):
+        k = data.draw(st.integers(0, n))
+        r = data.draw(st.integers(0, comb(n, k) - 1))
+        subset = unrank_combination(r, n, k)
+        assert len(subset) == k
+        assert rank_combination(subset, n) == r
+
+    @given(st.integers(2, 10), st.data())
+    @settings(max_examples=40)
+    def test_monotone_in_rank(self, n, data):
+        k = data.draw(st.integers(1, n))
+        total = comb(n, k)
+        if total < 2:
+            return
+        r = data.draw(st.integers(0, total - 2))
+        a = tuple(unrank_combination(r, n, k))
+        b = tuple(unrank_combination(r + 1, n, k))
+        assert a < b  # lexicographic order
+
+
+class TestMultiset:
+    def test_enumeration_binary(self):
+        # counts=(2,1): words 001, 010, 100
+        words = [tuple(unrank_multiset(r, (2, 1))) for r in range(3)]
+        assert words == [(0, 0, 1), (0, 1, 0), (1, 0, 0)]
+
+    def test_enumeration_matches_sorted_permutations(self):
+        counts = (2, 2, 1)
+        base = (0, 0, 1, 1, 2)
+        expected = sorted(set(permutations(base)))
+        total = multinomial(counts)
+        got = [tuple(unrank_multiset(r, counts)) for r in range(total)]
+        assert got == expected
+
+    def test_roundtrip_exhaustive(self):
+        counts = (2, 3, 1)
+        for r in range(multinomial(counts)):
+            word = unrank_multiset(r, counts)
+            assert rank_multiset(word, counts) == r
+
+    def test_rank_word_wrong_length(self):
+        with pytest.raises(PermutationError):
+            rank_multiset([0, 1], (2, 1))
+
+    def test_rank_word_bad_symbol(self):
+        with pytest.raises(PermutationError):
+            rank_multiset([0, 0, 5], (2, 1))
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(PermutationError):
+            unrank_multiset(3, (2, 1))
+
+    @given(st.lists(st.integers(1, 3), min_size=2, max_size=4), st.data())
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, counts, data):
+        total = multinomial(counts)
+        r = data.draw(st.integers(0, total - 1))
+        word = unrank_multiset(r, counts)
+        assert rank_multiset(word, counts) == r
+        assert np.bincount(word, minlength=len(counts)).tolist() == counts
+
+
+class TestSigns:
+    def test_rank_zero_is_identity(self):
+        assert list(unrank_signs(0, 4)) == [1, 1, 1, 1]
+
+    def test_last_rank_is_all_flips(self):
+        assert list(unrank_signs(15, 4)) == [-1, -1, -1, -1]
+
+    def test_big_endian_bit_order(self):
+        # rank 1 flips the LAST pair
+        assert list(unrank_signs(1, 3)) == [1, 1, -1]
+        # rank 4 = 100b flips the FIRST pair
+        assert list(unrank_signs(4, 3)) == [-1, 1, 1]
+
+    def test_roundtrip_exhaustive(self):
+        for r in range(32):
+            assert rank_signs(unrank_signs(r, 5)) == r
+
+    def test_rank_rejects_bad_entries(self):
+        with pytest.raises(PermutationError):
+            rank_signs([1, 0, -1])
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(PermutationError):
+            unrank_signs(8, 3)
+
+    @given(st.integers(1, 16), st.data())
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, npairs, data):
+        r = data.draw(st.integers(0, (1 << npairs) - 1))
+        assert rank_signs(unrank_signs(r, npairs)) == r
+
+
+class TestPermutations:
+    def test_rank_zero_is_identity(self):
+        assert list(unrank_permutation(0, 4)) == [0, 1, 2, 3]
+
+    def test_last_rank_is_reversal(self):
+        assert list(unrank_permutation(23, 4)) == [3, 2, 1, 0]
+
+    def test_enumeration_is_lexicographic(self):
+        expected = sorted(permutations(range(4)))
+        got = [tuple(unrank_permutation(r, 4)) for r in range(24)]
+        assert got == expected
+
+    def test_roundtrip_exhaustive(self):
+        for r in range(factorial(5)):
+            assert rank_permutation(unrank_permutation(r, 5)) == r
+
+    def test_rank_rejects_non_permutation(self):
+        with pytest.raises(PermutationError):
+            rank_permutation([0, 0, 1])
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(PermutationError):
+            unrank_permutation(24, 4)
+
+    @given(st.integers(1, 7), st.data())
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, k, data):
+        r = data.draw(st.integers(0, factorial(k) - 1))
+        assert rank_permutation(unrank_permutation(r, k)) == r
