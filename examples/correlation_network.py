@@ -16,7 +16,6 @@ import networkx as nx
 
 from repro.corr import cor, pcor
 from repro.data import synthetic_expression
-from repro.mpi import run_spmd
 
 
 def make_modular_data(n_genes=120, n_samples=40, n_modules=4, seed=29):
@@ -37,9 +36,11 @@ def main() -> None:
           f"{len(set(module_of))} planted co-expression modules")
 
     # --- parallel correlation matrix --------------------------------------
-    R = run_spmd(lambda comm: pcor(X, comm=comm), 4)[0]
+    # pcor launches its own SPMD world from the execution-backend registry;
+    # "shm" forks OS ranks and broadcasts X through shared memory.
+    R = pcor(X, backend="shm", ranks=4)
     np.testing.assert_allclose(R, cor(X), rtol=1e-10, atol=1e-12)
-    print(f"pcor on 4 ranks == serial cor "
+    print(f"pcor on 4 'shm' ranks == serial cor "
           f"({R.shape[0]}x{R.shape[1]} matrix)")
 
     # --- threshold into a network ------------------------------------------

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro import mt_maxT, pmaxT
 from repro.data import synthetic_expression, two_class_labels
-from repro.mpi import run_spmd
+from repro.mpi import available_backends
 
 
 def main() -> None:
@@ -32,15 +32,23 @@ def main() -> None:
     print(f"\nserial mt_maxT: B={serial.nperm} permutations")
     print(serial.table(limit=8))
 
-    # --- parallel run: same call + a communicator -------------------------
-    def job(comm):
-        return pmaxT(X, labels, test="t", side="abs", B=2_000, comm=comm)
-
-    parallel = run_spmd(job, 4)[0]
+    # --- parallel run: same call + an execution backend -------------------
+    # Any name from the backend registry works here: "threads" (in-process),
+    # "processes" (forked ranks, pickled collectives) or "shm" (forked
+    # ranks, zero-copy shared-memory collectives).
+    print(f"\nregistered execution backends: {', '.join(available_backends())}")
+    parallel = pmaxT(X, labels, test="t", side="abs", B=2_000,
+                     backend="threads", ranks=4)
     assert np.array_equal(serial.rawp, parallel.rawp)
     assert np.array_equal(serial.adjp, parallel.adjp)
-    print(f"\npmaxT on {parallel.nranks} ranks: results identical to serial "
+    print(f"pmaxT on {parallel.nranks} ranks: results identical to serial "
           "(the paper's reproducibility guarantee)")
+
+    shm_run = pmaxT(X, labels, test="t", side="abs", B=2_000,
+                    backend="shm", ranks=4)
+    assert np.array_equal(serial.adjp, shm_run.adjp)
+    print("pmaxT on the 'shm' backend (OS processes, zero-copy broadcast): "
+          "identical again")
 
     p = parallel.profile
     print("\nfive-section profile (the columns of the paper's Tables I-V):")

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from ..core import pmaxT
 from ..core.profile import SectionProfile
 from ..data import synthetic_expression, two_class_labels
-from ..mpi import run_spmd
+from ..mpi import DEFAULT_BACKEND, available_backends, run_backend
 
 __all__ = ["MeasuredRow", "measure_profile", "measured_profile_table",
            "render_measured_table", "main"]
@@ -38,21 +38,24 @@ class MeasuredRow:
 
 
 def measure_profile(X, classlabel, nprocs: int, *, B: int,
-                    repeats: int = 3, **kwargs) -> SectionProfile:
+                    repeats: int = 3, backend: str = DEFAULT_BACKEND,
+                    **kwargs) -> SectionProfile:
     """Best-of-``repeats`` profile of a pmaxT run at ``nprocs`` ranks.
 
     Like the paper, the minimum over independent executions is reported to
-    suppress interference from other load on the machine.
+    suppress interference from other load on the machine.  ``backend``
+    picks the execution substrate, so the same table can be measured over
+    threads, pickled processes or shared-memory processes.
     """
     best: SectionProfile | None = None
     for _ in range(repeats):
-        if nprocs == 1:
+        if nprocs == 1 and backend == DEFAULT_BACKEND:
             result = pmaxT(X, classlabel, B=B, **kwargs)
         else:
             def job(comm):
                 return pmaxT(X, classlabel, B=B, comm=comm, **kwargs)
 
-            result = run_spmd(job, nprocs)[0]
+            result = run_backend(backend, job, nprocs)[0]
         if best is None or result.profile.total() < best.total():
             best = result.profile
     return best
@@ -82,14 +85,15 @@ def measured_profile_table(proc_counts=(1, 2, 4), *, n_genes: int = 1_000,
 
 
 def render_measured_table(rows: list[MeasuredRow], *, n_genes: int,
-                          n_samples: int, B: int) -> str:
+                          n_samples: int, B: int,
+                          backend: str = DEFAULT_BACKEND) -> str:
     """Render measured rows in the paper's table layout."""
     lines = [
         f"Measured pmaxT profile — this machine "
         f"({platform_mod.processor() or platform_mod.machine()}, "
         f"{platform_mod.system()})",
         f"  workload: B = {B:,} permutations, {n_genes:,} x {n_samples} "
-        "matrix; minimum of repeated runs; threaded SPMD world",
+        f"matrix; minimum of repeated runs; {backend!r} SPMD backend",
         f"{'Procs':>5}  {'Pre':>8}  {'Bcast':>8}  {'Create':>8}  "
         f"{'Kernel':>10}  {'P-values':>9}  {'Speedup':>8}  {'Spd(kern)':>9}",
     ]
@@ -113,13 +117,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--b", type=int, default=1_000)
     parser.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4])
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=available_backends(),
+                        help="execution backend to measure "
+                        f"(default: {DEFAULT_BACKEND})")
     args = parser.parse_args(argv)
 
     rows = measured_profile_table(
         tuple(args.procs), n_genes=args.genes, n_samples=args.samples,
-        B=args.b, repeats=args.repeats)
+        B=args.b, repeats=args.repeats, backend=args.backend)
     print(render_measured_table(rows, n_genes=args.genes,
-                                n_samples=args.samples, B=args.b))
+                                n_samples=args.samples, B=args.b,
+                                backend=args.backend))
     return 0
 
 

@@ -22,7 +22,7 @@ from ..data import (
     synthetic_paired,
     two_class_labels,
 )
-from ..mpi import run_spmd
+from ..mpi import DEFAULT_BACKEND, run_backend
 
 __all__ = ["Workload", "measured_workload", "run_serial", "run_parallel",
            "kernel_permutations_per_second"]
@@ -80,13 +80,18 @@ def run_serial(work: Workload, **kwargs):
                    **kwargs)
 
 
-def run_parallel(work: Workload, nprocs: int, **kwargs):
-    """Execute the workload on a ThreadComm world; returns the master result."""
+def run_parallel(work: Workload, nprocs: int, *,
+                 backend: str = DEFAULT_BACKEND, **kwargs):
+    """Execute the workload on an SPMD world; returns the master result.
+
+    ``backend`` is any registered execution-backend name (default
+    ``"threads"``), so the same workload compares substrates directly.
+    """
     def job(comm):
         return pmaxT(work.X, work.classlabel, test=work.test, B=work.B,
                      comm=comm, **kwargs)
 
-    return run_spmd(job, nprocs)[0]
+    return run_backend(backend, job, nprocs)[0]
 
 
 def kernel_permutations_per_second(result) -> float:

@@ -4,12 +4,16 @@ The paper's usage story is a one-line change for the user
 (``mpiexec -n NSLOTS R -f script.R``); the CLI analogue runs the parallel
 permutation test on a dataset file without writing any Python::
 
-    repro-maxt expression.csv --test t --b 10000 --procs 4 --out result.tsv
+    repro-maxt expression.csv --test t --b 10000 --ranks 4 --out result.tsv
+    repro-maxt expression.npz --b 50000 --backend shm --ranks 8
     repro-maxt expression.npz --test wilcoxon --side upper --top 25
 
-Dataset formats are the CSV/NPZ layouts of :mod:`repro.data.io`; the world
-is an in-process SPMD one (``--backend threads`` by default, ``processes``
-for real OS ranks).
+Dataset formats are the CSV/NPZ layouts of :mod:`repro.data.io`.  The SPMD
+world comes from the execution-backend registry
+(:mod:`repro.mpi.backends`): ``--backend threads`` (default), ``processes``
+(real OS ranks, pickled collectives), ``shm`` (real OS ranks, zero-copy
+shared-memory collectives) or ``serial`` — plus any backend the embedding
+application registered.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from . import __version__
 from .core.pmaxt import pmaxT
 from .data.io import load_dataset_csv, load_dataset_npz, write_result_tsv
 from .errors import ReproError
-from .mpi import run_spmd, run_spmd_processes
+from .mpi import DEFAULT_BACKEND, available_backends
 from .stats import available_tests
 
 __all__ = ["main", "build_parser"]
@@ -52,12 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rank-transform the data first (default: n)")
     parser.add_argument("--seed", type=int, default=None,
                         help="RNG seed (default: the library's fixed seed)")
-    parser.add_argument("--procs", type=int, default=1, metavar="P",
-                        help="SPMD world size (default: 1)")
-    parser.add_argument("--backend", default="threads",
-                        choices=("threads", "processes"),
-                        help="SPMD backend for --procs > 1 "
-                        "(default: threads)")
+    parser.add_argument("--ranks", "--procs", type=int, default=1,
+                        metavar="P", dest="ranks",
+                        help="SPMD world size (default: 1; --procs is a "
+                        "backward-compatible alias)")
+    parser.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=available_backends(),
+                        help="execution backend for --ranks > 1 "
+                        f"(default: {DEFAULT_BACKEND})")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="enable checkpoint/restart into this directory")
     parser.add_argument("--out", default=None, metavar="TSV",
@@ -98,15 +104,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.seed is not None:
             kwargs["seed"] = args.seed
 
-        if args.procs <= 1:
+        if args.ranks <= 1 and args.backend == DEFAULT_BACKEND:
             result = pmaxT(X, classlabel, **kwargs)
         else:
-            def job(comm):
-                return pmaxT(X, classlabel, comm=comm, **kwargs)
-
-            runner = (run_spmd if args.backend == "threads"
-                      else run_spmd_processes)
-            result = runner(job, args.procs)[0]
+            result = pmaxT(X, classlabel, backend=args.backend,
+                           ranks=max(1, args.ranks), **kwargs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -28,6 +28,24 @@ Every rank calls :func:`pmaxT` (SPMD style).  Worker ranks may pass
 SPRINT architecture where only the master evaluates the user's R script.
 The master returns the :class:`~repro.core.result.MaxTResult`; workers
 return ``None``.
+
+Execution backends
+------------------
+
+:func:`pmaxT` is substrate-agnostic: the data broadcast uses the
+communicator's ``bcast_array`` and the count reduction ``reduce_array``,
+so each backend moves arrays its own best way (shared address space for
+``serial``/``threads``, pickled queues for ``processes``, zero-copy
+shared-memory segments for ``shm``).  Callers pick the substrate either by
+running their own SPMD world and passing ``comm=``, or — the convenience
+path — by naming a registered backend::
+
+    result = pmaxT(X, labels, B=10_000, backend="shm", ranks=8)
+
+``backend`` accepts any name in
+:func:`repro.mpi.backends.available_backends`; registering a custom
+:class:`~repro.mpi.backends.Backend` (see :mod:`repro.mpi`) makes it
+usable here, in ``pcor`` and in the CLI without touching this module.
 """
 
 from __future__ import annotations
@@ -103,6 +121,8 @@ def pmaxT(
     nonpara: str = "n",
     *,
     comm: Communicator | None = None,
+    backend: str | None = None,
+    ranks: int | None = None,
     seed: int = DEFAULT_SEED,
     chunk_size: int = DEFAULT_CHUNK,
     complete_limit: int = DEFAULT_COMPLETE_LIMIT,
@@ -117,6 +137,13 @@ def pmaxT(
     communicator.  With ``comm=None`` (or a one-rank world) this runs the
     serial algorithm, profiled into the same five sections.
 
+    Alternatively pass ``backend=`` (a registered execution-backend name:
+    ``"serial"``, ``"threads"``, ``"processes"``, ``"shm"``, or a custom
+    registration) and ``ranks=`` to have pmaxT stand up the SPMD world
+    itself and return the master's result directly — a one-line parallel
+    run with no explicit world management.  ``backend`` and ``comm`` are
+    mutually exclusive.
+
     On worker ranks ``X`` and ``classlabel`` may be ``None``; the data
     arrives via the master's broadcast.  The result is returned on the
     master; workers receive ``None``.
@@ -130,6 +157,23 @@ def pmaxT(
     the permutation partition (Figure 2 of the paper) together with the
     skippable generators reproduces the serial permutation sequence exactly.
     """
+    if backend is not None or ranks is not None:
+        from ..mpi.backends import launch_master
+
+        def _job(world_comm: Communicator) -> MaxTResult | None:
+            return pmaxT(
+                X if world_comm.is_master else None,
+                classlabel if world_comm.is_master else None,
+                test=test, side=side,
+                fixed_seed_sampling=fixed_seed_sampling, B=B, na=na,
+                nonpara=nonpara, comm=world_comm, seed=seed,
+                chunk_size=chunk_size, complete_limit=complete_limit,
+                row_names=row_names, checkpoint_dir=checkpoint_dir,
+                checkpoint_interval=checkpoint_interval,
+            )
+
+        return launch_master(backend, ranks, _job, comm=comm, caller="pmaxT")
+
     if comm is None:
         comm = SerialComm()
     master = comm.is_master
@@ -166,10 +210,13 @@ def pmaxT(
             data = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
             labels = np.ascontiguousarray(np.asarray(classlabel,
                                                      dtype=np.int64))
-            payload = (data, labels)
         else:
-            payload = None
-        data, labels = comm.bcast(payload, root=0)
+            data = labels = None
+        # Array-aware collectives: the backend moves the matrix its own
+        # best way (zero-copy segments on "shm", pickled queues on
+        # "processes", the shared address space in-process).
+        data = comm.bcast_array(data, root=0)
+        labels = comm.bcast_array(labels, root=0)
         # Global sum synchronises all ranks and confirms allocation
         # succeeded everywhere (the paper's Step 3 "global sum").
         ready = comm.allreduce(1, op=SUM)
@@ -219,8 +266,8 @@ def pmaxT(
     # -- Step 5: gather counts, compute p-values -----------------------------
     result: MaxTResult | None = None
     with timer.section("compute_pvalues"):
-        total_raw = comm.reduce(counts.raw, op=SUM, root=0)
-        total_adj = comm.reduce(counts.adjusted, op=SUM, root=0)
+        total_raw = comm.reduce_array(counts.raw, op=SUM, root=0)
+        total_adj = comm.reduce_array(counts.adjusted, op=SUM, root=0)
         total_nperm = comm.reduce(counts.nperm, op=SUM, root=0)
         if master:
             if total_nperm != options.nperm:  # pragma: no cover - defensive

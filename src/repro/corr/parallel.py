@@ -37,29 +37,49 @@ def row_block(m: int, rank: int, size: int) -> tuple[int, int]:
 
 def pcor(X=None, Y=None, *, use: str = "everything",
          na: float | None = None,
-         comm: Communicator | None = None) -> np.ndarray | None:
+         comm: Communicator | None = None,
+         backend: str | None = None,
+         ranks: int | None = None) -> np.ndarray | None:
     """Parallel Pearson correlation of matrix rows.
 
     SPMD entry point with the same contract as :func:`~repro.core.pmaxt.pmaxT`:
     every rank calls it, workers may pass ``X=None`` (the master broadcasts
     the data), and the assembled ``m x m`` (or ``m x k``) matrix is returned
-    on the master, ``None`` on the workers.
+    on the master, ``None`` on the workers.  As with ``pmaxT``, passing a
+    registered execution-backend name plus a rank count —
+    ``pcor(X, backend="shm", ranks=4)`` — launches the SPMD world
+    internally and returns the assembled matrix directly.
 
     The result is **identical** to :func:`repro.corr.cor` for any world
     size: each output row is computed by exactly one rank with the same
     arithmetic as the serial code.
     """
+    if backend is not None or ranks is not None:
+        from ..mpi.backends import launch_master
+
+        def _job(world_comm: Communicator) -> np.ndarray | None:
+            return pcor(X if world_comm.is_master else None,
+                        Y if world_comm.is_master else None,
+                        use=use, na=na, comm=world_comm)
+
+        return launch_master(backend, ranks, _job, comm=comm, caller="pcor")
+
     if comm is None:
         comm = SerialComm()
     if comm.is_master:
         if X is None:
             raise DataError("the master rank must supply X")
-        payload = (np.asarray(X, dtype=np.float64),
-                   None if Y is None else np.asarray(Y, dtype=np.float64),
-                   use, na)
+        X = np.asarray(X, dtype=np.float64)
+        Y = None if Y is None else np.asarray(Y, dtype=np.float64)
+        meta = (Y is not None, use, na)
     else:
-        payload = None
-    X, Y, use, na = comm.bcast(payload, root=0)
+        meta = None
+    has_Y, use, na = comm.bcast(meta, root=0)
+    X = comm.bcast_array(X if comm.is_master else None, root=0)
+    if has_Y:
+        Y = comm.bcast_array(Y if comm.is_master else None, root=0)
+    else:
+        Y = None
 
     m = X.shape[0]
     start, count = row_block(m, comm.rank, comm.size)

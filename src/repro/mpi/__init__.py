@@ -1,13 +1,54 @@
-"""MPI substrate: communicator interface and in-process backends.
+"""MPI substrate: communicator interface, worlds, and the backend registry.
 
-See :mod:`repro.mpi.comm` for the interface, :mod:`repro.mpi.serial` for the
-one-rank world and :mod:`repro.mpi.threads` for the threaded SPMD world used
-by the parallel tests and measured benchmarks.
+Two layers live here:
+
+**Communicators** (:mod:`repro.mpi.comm`) — the MPI-like interface every
+algorithm is written against: ``bcast``/``gather``/``reduce``/``barrier``
+plus the array-aware ``bcast_array``/``reduce_array`` collectives that let
+a backend move numpy data without pickling.  Implementations:
+
+* :class:`~repro.mpi.serial.SerialComm` — one-rank world;
+* :class:`~repro.mpi.threads.ThreadComm` — SPMD OS threads with blocking
+  collectives (BLAS releases the GIL, so kernels overlap);
+* :class:`~repro.mpi.processes.ProcessComm` — forked OS processes,
+  payloads pickled through per-rank queues (true memory isolation);
+* :class:`~repro.mpi.shm.ShmComm` — forked OS processes whose array
+  collectives use zero-copy ``multiprocessing.shared_memory`` segments.
+
+**Backends** (:mod:`repro.mpi.backends`) — the string-keyed registry that
+launches a world by name: ``"serial"``, ``"threads"``, ``"processes"``,
+``"shm"``.  Every consumer (``pmaxT``, ``pcor``, the CLI, SPRINT sessions,
+the measured benchmarks) accepts ``backend=`` / ``ranks=`` and routes
+through :func:`~repro.mpi.backends.run_backend`, so the compute code never
+hard-wires a substrate::
+
+    from repro import pmaxT
+    result = pmaxT(X, labels, B=10_000, backend="shm", ranks=8)
+
+To plug in a custom substrate, subclass
+:class:`~repro.mpi.backends.Backend`, implement
+``run(fn, ranks, *, timeout=None) -> list`` (rank-ordered results of
+``fn(comm)``), give it a ``name``, and call
+:func:`~repro.mpi.backends.register_backend`; the name becomes valid in
+every ``backend=`` parameter and in the CLI's ``--backend`` flag.
 """
 
+from .backends import (
+    DEFAULT_BACKEND,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ShmBackend,
+    ThreadBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+    run_backend,
+)
 from .comm import MAX, MIN, SUM, Communicator, ReduceOp
 from .processes import ProcessComm, run_spmd_processes
 from .serial import SerialComm
+from .shm import ShmComm, run_spmd_shm
 from .threads import ThreadComm, ThreadWorld, run_spmd
 
 __all__ = [
@@ -22,4 +63,16 @@ __all__ = [
     "run_spmd",
     "ProcessComm",
     "run_spmd_processes",
+    "ShmComm",
+    "run_spmd_shm",
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "ShmBackend",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+    "run_backend",
 ]

@@ -1,0 +1,214 @@
+"""Execution backends: one registry for *how* an SPMD world is launched.
+
+The algorithms in this package (``pmaxT``, ``pcor``, the SPRINT framework)
+are written against the :class:`~repro.mpi.comm.Communicator` interface and
+do not care how the ranks came to exist.  This module makes that substrate
+a first-class, string-keyed choice:
+
+========== ============================= =====================================
+key        world                         array collectives
+========== ============================= =====================================
+serial     the calling thread            in-address-space (no copies)
+threads    OS threads (BLAS overlaps)    in-address-space (no copies)
+processes  OS processes (fork)           pickled through per-rank queues
+shm        OS processes (fork)           zero-copy ``multiprocessing.shared_memory``
+========== ============================= =====================================
+
+Every consumer — ``pmaxT(..., backend="shm", ranks=8)``, ``pcor``, the
+``repro-maxt`` CLI, the SPRINT session, the measured benchmarks — routes
+through :func:`resolve_backend` / :func:`run_backend`, so a new substrate
+(say, a real ``mpi4py`` world) plugs in everywhere at once::
+
+    from repro.mpi.backends import Backend, register_backend
+
+    class MpiBackend(Backend):
+        name = "mpi4py"
+        def run(self, fn, ranks, *, timeout=None):
+            ...  # launch `ranks` ranks, return their rank-ordered results
+
+    register_backend(MpiBackend())
+    pmaxT(X, labels, backend="mpi4py", ranks=64)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from ..errors import CommunicatorError
+from .comm import Communicator
+from .processes import run_spmd_processes
+from .serial import SerialComm
+from .shm import run_spmd_shm
+from .threads import run_spmd
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "ShmBackend",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+    "run_backend",
+    "DEFAULT_BACKEND",
+]
+
+#: The backend used when a consumer asks for ranks but names no substrate.
+DEFAULT_BACKEND = "threads"
+
+SpmdFunction = Callable[[Communicator], Any]
+
+
+class Backend(ABC):
+    """A way of standing up an SPMD world of communicating ranks."""
+
+    #: Registry key (``backend="<name>"`` everywhere in the package).
+    name: str = "?"
+    #: True when the ranks share the calling process's address space —
+    #: required by consumers that thread state through the world, e.g.
+    #: :class:`~repro.sprint.session.SprintSession`'s master-on-the-calling-
+    #: thread design.
+    in_process: bool = False
+
+    @abstractmethod
+    def run(self, fn: SpmdFunction, ranks: int, *,
+            timeout: float | None = None) -> list[Any]:
+        """Execute ``fn(comm)`` on ``ranks`` ranks; return rank-ordered results."""
+
+    def check_ranks(self, ranks: int) -> int:
+        ranks = int(ranks)
+        if ranks < 1:
+            raise CommunicatorError(
+                f"backend {self.name!r}: ranks must be >= 1, got {ranks}")
+        return ranks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialBackend(Backend):
+    """The degenerate one-rank world (no concurrency machinery at all)."""
+
+    name = "serial"
+    in_process = True
+
+    def run(self, fn: SpmdFunction, ranks: int, *,
+            timeout: float | None = None) -> list[Any]:
+        if self.check_ranks(ranks) != 1:
+            raise CommunicatorError(
+                f"backend 'serial' is a one-rank world; got ranks={ranks} "
+                "(pick 'threads', 'processes' or 'shm' for a real world)")
+        return [fn(SerialComm())]
+
+
+class ThreadBackend(Backend):
+    """OS threads with blocking collectives; BLAS kernels overlap."""
+
+    name = "threads"
+    in_process = True
+
+    def run(self, fn: SpmdFunction, ranks: int, *,
+            timeout: float | None = None) -> list[Any]:
+        return run_spmd(fn, self.check_ranks(ranks), timeout)
+
+
+class ProcessBackend(Backend):
+    """Forked OS processes; payloads pickled through per-rank queues."""
+
+    name = "processes"
+
+    def run(self, fn: SpmdFunction, ranks: int, *,
+            timeout: float | None = None) -> list[Any]:
+        ranks = self.check_ranks(ranks)
+        if timeout is None:
+            return run_spmd_processes(fn, ranks)
+        return run_spmd_processes(fn, ranks, timeout=timeout)
+
+
+class ShmBackend(Backend):
+    """Forked OS processes; arrays travel via shared-memory segments."""
+
+    name = "shm"
+
+    def run(self, fn: SpmdFunction, ranks: int, *,
+            timeout: float | None = None) -> list[Any]:
+        ranks = self.check_ranks(ranks)
+        if timeout is None:
+            return run_spmd_shm(fn, ranks)
+        return run_spmd_shm(fn, ranks, timeout=timeout)
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, *, overwrite: bool = False) -> Backend:
+    """Add a backend to the registry under ``backend.name``."""
+    if not isinstance(backend, Backend):
+        raise CommunicatorError(
+            f"expected a Backend instance, got {backend!r}")
+    name = backend.name
+    if not name or not isinstance(name, str) or name == "?":
+        raise CommunicatorError(
+            f"backend {backend!r} must define a non-empty string name")
+    if name in _REGISTRY and not overwrite:
+        raise CommunicatorError(
+            f"backend {name!r} is already registered "
+            "(pass overwrite=True to replace it)")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(spec: str | Backend) -> Backend:
+    """Turn a backend name (or an already-built Backend) into a Backend."""
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec]
+        except KeyError:
+            raise CommunicatorError(
+                f"unknown backend {spec!r}; available: "
+                f"{', '.join(available_backends())}"
+            ) from None
+    raise CommunicatorError(
+        f"backend must be a name or a Backend instance, got {spec!r}")
+
+
+def run_backend(spec: str | Backend, fn: SpmdFunction, ranks: int, *,
+                timeout: float | None = None) -> list[Any]:
+    """Resolve ``spec`` and run ``fn`` on a world of ``ranks`` ranks."""
+    return resolve_backend(spec).run(fn, ranks, timeout=timeout)
+
+
+def launch_master(backend: str | Backend | None, ranks: int | None,
+                  fn: SpmdFunction, *, comm: Any = None,
+                  caller: str = "this function") -> Any:
+    """Launch a world for a ``backend=``/``ranks=`` convenience call.
+
+    Shared preamble of ``pmaxT(..., backend=, ranks=)`` and
+    ``pcor(..., backend=, ranks=)``: reject a simultaneous ``comm=``,
+    default the backend/rank count, run ``fn`` on every rank and return
+    the master's (rank 0's) result.
+    """
+    from ..errors import DataError
+
+    if comm is not None:
+        raise DataError(
+            f"pass either comm= (an existing SPMD world) or backend=/"
+            f"ranks= ({caller} launches the world), not both")
+    spec = DEFAULT_BACKEND if backend is None else backend
+    nranks = 1 if ranks is None else int(ranks)
+    return run_backend(spec, fn, nranks)[0]
+
+
+for _backend in (SerialBackend(), ThreadBackend(), ProcessBackend(),
+                 ShmBackend()):
+    register_backend(_backend)
+del _backend

@@ -109,6 +109,36 @@ class Communicator(ABC):
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive from ``source``."""
 
+    # -- array-aware collectives ---------------------------------------------------
+    #
+    # The paper's Tables I–V show the "create data" broadcast and the final
+    # count reduction dominating pmaxT's non-kernel time.  These entry points
+    # let a backend move numpy arrays without the generic object path's
+    # pickling: the defaults below simply delegate (correct for any
+    # conformant world, and exactly right for SerialComm/ThreadComm where
+    # ranks already share an address space), while process-based backends
+    # override them — ProcessComm with a contiguous wire format and
+    # streaming accumulation, ShmComm with zero-copy shared-memory segments.
+
+    def bcast_array(self, arr: np.ndarray | None, root: int = 0) -> np.ndarray:
+        """Broadcast a numpy array from ``root``; every rank returns it.
+
+        Non-root ranks pass ``None`` (or anything — the argument is ignored
+        off-root).  The returned array may be a read-only view of shared
+        storage; callers must copy before mutating it.
+        """
+        return self.bcast(arr, root=root)
+
+    def reduce_array(self, arr: np.ndarray, op: ReduceOp = SUM,
+                     root: int = 0) -> np.ndarray | None:
+        """Elementwise-reduce same-shaped arrays; only ``root`` gets the result.
+
+        Every rank contributes an array of identical shape and dtype.  The
+        reduction is applied in rank order (rank 0 first), so the result is
+        bit-identical across backends even for non-commutative rounding.
+        """
+        return self.reduce(arr, op=op, root=root)
+
     # -- conveniences -------------------------------------------------------------
 
     def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:

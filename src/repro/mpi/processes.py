@@ -24,9 +24,13 @@ result queue; the parent terminates the survivors and re-raises.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import queue as queue_mod
+import time
 import traceback
 from typing import Any, Callable
+
+import numpy as np
 
 from ..errors import CommunicatorError
 from .comm import Communicator, ReduceOp, SUM
@@ -34,6 +38,22 @@ from .comm import Communicator, ReduceOp, SUM
 __all__ = ["ProcessComm", "run_spmd_processes"]
 
 _DEFAULT_TIMEOUT = 300.0
+
+
+def _to_wire(arr: np.ndarray) -> tuple:
+    """Encode a contiguous array as the queue wire format.
+
+    One tuple shared by every process-world array collective, so the
+    format can only change in one place.
+    """
+    return (arr.dtype.str, arr.shape, arr.tobytes())
+
+
+def _from_wire(dtype: str, shape: tuple, buf: bytes) -> np.ndarray:
+    """Decode the wire format; the result views the immutable buffer."""
+    out = np.frombuffer(buf, dtype=np.dtype(dtype)).reshape(shape)
+    out.flags.writeable = False
+    return out
 
 
 class ProcessComm(Communicator):
@@ -102,12 +122,27 @@ class ProcessComm(Communicator):
         seq = self._opseq
         self._opseq += 1
         if self._rank == root:
-            for dest in range(self._size):
-                if dest != root:
-                    self._put(dest, "bcast", seq, obj)
+            if self._size > 1:
+                # Pre-pickle once: each queue put then ships opaque bytes
+                # (one serialisation instead of one per worker), and an
+                # unpicklable payload raises *here* instead of failing
+                # silently in the queue's feeder thread — which would
+                # leave every worker blocked waiting for a broadcast that
+                # never arrives.
+                try:
+                    wire = pickle.dumps(obj,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception as exc:
+                    raise CommunicatorError(
+                        f"bcast payload is not picklable for the process "
+                        f"world: {exc!r} (module-level functions travel; "
+                        "lambdas and local closures do not)") from exc
+                for dest in range(self._size):
+                    if dest != root:
+                        self._put(dest, "bcast", seq, wire)
             return obj
         _, payload = self._get("bcast", root, seq)
-        return payload
+        return pickle.loads(payload)
 
     def gather(self, obj: Any, root: int = 0):
         self._check_root(root)
@@ -135,6 +170,62 @@ class ProcessComm(Communicator):
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
         result = self.reduce(value, op=op, root=0)
         return self.bcast(result, root=0)
+
+    # -- array-aware collectives ---------------------------------------------------
+
+    def bcast_array(self, arr, root: int = 0):
+        """Broadcast an array as ``(dtype, shape, bytes)`` instead of an object.
+
+        The wire format guarantees the payload is a single contiguous buffer
+        (ndarray pickling of a strided array would first densify it on every
+        send) and reconstruction on the receivers is a plain frombuffer-copy
+        rather than object unpickling.  The data still crosses the queue pipe
+        once per worker — :class:`~repro.mpi.shm.ShmComm` is the backend that
+        removes that copy entirely.
+        """
+        self._check_root(root)
+        seq = self._opseq
+        self._opseq += 1
+        if self._rank == root:
+            arr = np.ascontiguousarray(arr)
+            wire = _to_wire(arr)
+            for dest in range(self._size):
+                if dest != root:
+                    self._put(dest, "bcast-arr", seq, wire)
+            return arr
+        _, wire = self._get("bcast-arr", root, seq)
+        return _from_wire(*wire)
+
+    def reduce_array(self, arr, op: ReduceOp = SUM, root: int = 0):
+        """Reduce arrays with streaming, in-place accumulation at the root.
+
+        Unlike the generic ``reduce`` (a gather holding all ``size`` payloads
+        at once), the root folds each contribution into the accumulator as
+        soon as its turn in rank order comes up, bounding peak memory at
+        ~two vectors regardless of world size.
+        """
+        self._check_root(root)
+        seq = self._opseq
+        self._opseq += 1
+        arr = np.ascontiguousarray(arr)
+        if self._rank != root:
+            self._put(root, "reduce-arr", seq, _to_wire(arr))
+            return None
+        pending: dict[int, tuple] = {}
+        acc: np.ndarray | None = None
+        for nxt in range(self._size):
+            if nxt == root:
+                contribution = arr
+            else:
+                while nxt not in pending:
+                    src, wire = self._get("reduce-arr", None, seq)
+                    pending[src] = wire
+                contribution = _from_wire(*pending.pop(nxt))
+            if acc is None:
+                acc = np.array(contribution, copy=True)
+            else:
+                acc = op(acc, contribution)
+        return acc
 
     def barrier(self) -> None:
         # two-phase star barrier through rank 0
@@ -166,25 +257,51 @@ class ProcessComm(Communicator):
         if not 0 <= root < self._size:
             raise CommunicatorError(f"root {root} out of range [0, {self._size})")
 
+    def _cleanup(self) -> None:
+        """Release per-rank resources; runs in the worker after ``fn``.
 
-def _worker(fn, rank, size, inboxes, results, timeout):  # pragma: no cover
+        Subclass hook — :class:`~repro.mpi.shm.ShmComm` closes its
+        shared-memory segments here.  The base world has nothing to free.
+        """
+
+
+def _worker(comm_cls, fn, rank, size, inboxes, results,
+            timeout):  # pragma: no cover
     # (covered indirectly — runs in the child process)
     try:
-        comm = ProcessComm(rank, size, inboxes, timeout)
-        results.put((rank, True, fn(comm)))
+        comm = comm_cls(rank, size, inboxes, timeout)
+        try:
+            results.put((rank, True, fn(comm)))
+        finally:
+            comm._cleanup()
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
         results.put((rank, False, (type(exc).__name__, str(exc),
                                    traceback.format_exc())))
 
 
+def _drain(q) -> list:
+    """Empty a queue without blocking; tolerate closed/broken queues."""
+    out = []
+    while True:
+        try:
+            out.append(q.get_nowait())
+        except (queue_mod.Empty, OSError, ValueError, EOFError):
+            return out
+
+
 def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
-                       timeout: float = _DEFAULT_TIMEOUT) -> list[Any]:
+                       timeout: float = _DEFAULT_TIMEOUT,
+                       comm_cls: type[ProcessComm] = ProcessComm) -> list[Any]:
     """Run ``fn(comm)`` on ``size`` OS processes; return rank-ordered results.
 
     Requires a picklable-under-fork ``fn`` (plain functions and closures
     are fine on Linux).  If any rank raises, the survivors are terminated
     and a :class:`CommunicatorError` carrying the child's traceback is
     raised in the caller.
+
+    ``comm_cls`` selects the per-rank communicator (default
+    :class:`ProcessComm`); :func:`~repro.mpi.shm.run_spmd_shm` reuses this
+    driver with :class:`~repro.mpi.shm.ShmComm`.
     """
     if size <= 0:
         raise CommunicatorError(f"world size must be positive, got {size}")
@@ -193,7 +310,8 @@ def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
     results_q = ctx.Queue()
     procs = [
         ctx.Process(target=_worker,
-                    args=(fn, rank, size, inboxes, results_q, timeout),
+                    args=(comm_cls, fn, rank, size, inboxes, results_q,
+                          timeout),
                     name=f"spmd-proc-{rank}")
         for rank in range(size)
     ]
@@ -216,12 +334,37 @@ def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
                 break
     finally:
         if failure is not None:
+            # Drain the queues *before* terminating survivors: a rank that
+            # finished normally may be blocked in its queue feeder flushing
+            # a large result — or a collective payload addressed to the
+            # crashed rank — into a full pipe, and would hang the joins
+            # below (then be killed mid-flush) if nobody reaps its entries.
+            # Draining is only safe while the writers are alive (a reader
+            # never sees a truncated frame from a live feeder), which is
+            # exactly the window this loop covers.
+            grace = time.monotonic() + 2.0
+            while any(p.is_alive() for p in procs) and \
+                    time.monotonic() < grace:
+                for entry in _drain(results_q):
+                    entry_rank, ok, payload = entry
+                    if ok:
+                        results[entry_rank] = payload
+                for q in inboxes:
+                    _drain(q)
+                time.sleep(0.01)
             for p in procs:
                 if p.is_alive():
                     p.terminate()
         for p in procs:
             p.join(timeout=30)
-        for q in inboxes:
+            if p.is_alive():  # terminated mid-flush; escalate
+                p.kill()
+                p.join(timeout=5)
+        # No draining after the kills: a feeder terminated mid-write leaves
+        # a truncated frame, and a get() on it would block forever.  With
+        # every child reaped, closing the parent's handles releases the
+        # pipes and their buffers.
+        for q in (*inboxes, results_q):
             q.close()
     if failure is not None:
         rank, (name, message, tb) = failure

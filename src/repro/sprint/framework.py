@@ -32,13 +32,13 @@ Usage (SPMD — every rank runs the same program)::
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from ..errors import SprintError
 from ..mpi.comm import Communicator
 from .registry import FunctionRegistry, default_registry
 
-__all__ = ["SprintFramework", "MasterHandle"]
+__all__ = ["SprintFramework", "MasterHandle", "run_sprint"]
 
 # Command opcodes broadcast from the master to the workers.  Scalar codes,
 # not strings — the same optimisation the paper's future-work note 3
@@ -138,3 +138,39 @@ class SprintFramework:
         fn = self.registry.lookup(name)
         self.commands_served += 1
         return fn(self.comm, *args, **kwargs)
+
+
+def run_sprint(script: Callable[[MasterHandle], Any], *,
+               backend: str = "threads", ranks: int = 2,
+               registry: FunctionRegistry | None = None) -> Any:
+    """Run a complete SPRINT program over any registered execution backend.
+
+    ``script`` is the master's "R script": it receives the
+    :class:`MasterHandle` and drives the worker pool through
+    ``handle.call(...)``.  Every rank of the chosen backend runs the
+    Figure-1 flow — workers enter the waiting loop, the master evaluates
+    ``script`` and shuts the workers down afterwards — and the script's
+    return value is returned to the caller::
+
+        def script(master):
+            return master.call("pmaxT", X, labels, B=10_000)
+
+        result = run_sprint(script, backend="shm", ranks=8)
+
+    This is the process-world counterpart of
+    :class:`~repro.sprint.session.SprintSession` (whose
+    master-on-the-calling-thread design needs an in-process backend).
+    For the fork-based backends (``processes``/``shm``), ``script`` and
+    any functions in ``registry`` travel by fork, so closures are fine.
+    """
+    from ..mpi.backends import run_backend
+
+    def program(comm: Communicator) -> Any:
+        framework = SprintFramework(comm, registry)
+        master = framework.init()
+        if master is None:
+            return None
+        with master:
+            return script(master)
+
+    return run_backend(backend, program, ranks)[0]

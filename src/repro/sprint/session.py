@@ -21,6 +21,7 @@ import threading
 from typing import Any
 
 from ..errors import SprintError
+from ..mpi.serial import SerialComm
 from ..mpi.threads import ThreadWorld
 from .framework import MasterHandle, SprintFramework
 from .registry import FunctionRegistry, default_registry
@@ -29,12 +30,46 @@ __all__ = ["SprintSession"]
 
 
 class SprintSession:
-    """An in-process SPRINT world with the calling thread as master."""
+    """An in-process SPRINT world with the calling thread as master.
+
+    ``backend`` names the execution backend the session's world runs on and
+    must be an *in-process* one (``"threads"``, the default, or
+    ``"serial"`` with ``nprocs=1``): the session's defining feature is that
+    the calling thread *is* rank 0, which a fork-based world cannot offer.
+    For the process backends (``"processes"``/``"shm"``) use
+    :func:`repro.sprint.run_sprint`, which runs the whole SPRINT program —
+    master script included — inside the launched world.
+    """
 
     def __init__(self, nprocs: int = 2,
-                 registry: FunctionRegistry | None = None):
+                 registry: FunctionRegistry | None = None,
+                 backend: str = "threads"):
         if nprocs < 1:
             raise SprintError(f"nprocs must be >= 1, got {nprocs}")
+        from ..mpi.backends import resolve_backend
+
+        try:
+            resolved = resolve_backend(backend)
+        except Exception as exc:
+            raise SprintError(str(exc)) from exc
+        if not resolved.in_process:
+            raise SprintError(
+                f"SprintSession needs an in-process backend (the calling "
+                f"thread is the master rank); {resolved.name!r} launches "
+                "separate processes — use repro.sprint.run_sprint for it")
+        if resolved.name not in ("threads", "serial"):
+            # The session builds its world from the backend's communicator
+            # machinery directly (the calling thread must be rank 0), which
+            # only the built-in in-process worlds expose.  Custom backends
+            # run through run_sprint, whose contract is just Backend.run.
+            raise SprintError(
+                f"SprintSession supports the built-in 'threads' and "
+                f"'serial' backends, not {resolved.name!r}; use "
+                "repro.sprint.run_sprint to drive a custom backend")
+        if resolved.name == "serial" and nprocs != 1:
+            raise SprintError(
+                f"backend 'serial' is a one-rank world, got nprocs={nprocs}")
+        self.backend = resolved.name
         self.nprocs = nprocs
         self.registry = registry if registry is not None else default_registry()
         self._world: ThreadWorld | None = None
@@ -47,6 +82,10 @@ class SprintSession:
     def start(self) -> "SprintSession":
         if self._master is not None:
             raise SprintError("session already started")
+        if self.backend == "serial":
+            framework = SprintFramework(SerialComm(), self.registry)
+            self._master = framework.init()
+            return self
         self._world = ThreadWorld(self.nprocs)
 
         def worker(rank: int) -> None:

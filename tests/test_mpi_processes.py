@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -49,6 +51,25 @@ def _job_crash(comm):
     comm.barrier()
 
 
+def _job_two_crash(comm):
+    # Two ranks fail back-to-back; the driver must report the first and
+    # still tear the world down cleanly.
+    if comm.rank in (1, 2):
+        raise ValueError(f"rank {comm.rank} exploded")
+    comm.barrier()
+
+
+def _job_crash_with_inflight_payloads(comm):
+    # Rank 2 fails *after* the others have queued multi-megabyte messages
+    # to inboxes nobody will ever drain (the old driver could hang the
+    # exiting senders' queue feeders on the full pipe).
+    big = np.ones(1_500_000)  # ~12 MB, far beyond the pipe buffer
+    if comm.rank == 2:
+        raise ValueError("late failure")
+    comm.send(big, dest=2)
+    return comm.rank
+
+
 class TestCollectives:
     def test_bcast(self):
         assert run_spmd_processes(_job_bcast, 3) == [{"k": 7}] * 3
@@ -83,6 +104,25 @@ class TestFailures:
     def test_invalid_size(self):
         with pytest.raises(CommunicatorError):
             run_spmd_processes(_job_bcast, 0)
+
+    def test_second_rank_failure_no_deadlock(self):
+        """Two failing ranks: prompt teardown, first failure reported."""
+        start = time.monotonic()
+        with pytest.raises(CommunicatorError, match="exploded"):
+            run_spmd_processes(_job_two_crash, 4)
+        assert time.monotonic() - start < 20
+
+    def test_failure_with_inflight_payloads_no_deadlock(self):
+        """A failure must not strand survivors flushing big queue payloads.
+
+        The driver drains the result queue before terminating, so ranks
+        that completed normally (but are blocked in their queue feeder on
+        a full pipe) can exit instead of hanging the join.
+        """
+        start = time.monotonic()
+        with pytest.raises(CommunicatorError, match="late failure"):
+            run_spmd_processes(_job_crash_with_inflight_payloads, 4)
+        assert time.monotonic() - start < 20
 
 
 def _job_pmaxt(comm):
