@@ -1,0 +1,375 @@
+"""Measured benchmark: the ISSUE-2 kernel hot path, before vs after.
+
+Three measurements, written to ``BENCH_kernel.json``:
+
+1. **Permutation generation throughput** — the pre-PR fixed-seed path
+   built one seeded ``np.random.Generator`` per index and stacked a Python
+   list of rows; the rewrite generates the whole batch from one
+   counter-based key block.  The pre-PR construction is reproduced
+   verbatim in ``_legacy_*_rows`` below (it is a *different* fixed-seed
+   sequence — the ISSUE-2 keystream redefinition — so the comparison is
+   work-per-permutation, which is identical by construction: one uniform
+   resample per index).  Measured at the acceptance shape (n~100, B~10k).
+2. **End-to-end ``run_kernel``** — the pre-PR batch loop (legacy scalar
+   permutation generation, the legacy allocating Welch moments engine
+   reproduced verbatim in ``_LegacyWelch``, a dozen fresh ``(m, nb)``
+   temporaries per batch) against the workspace kernel on a 5000x100
+   matrix.  As a correctness guard, the workspace kernel is also asserted
+   bit-identical against an allocating loop over the *current* statistic
+   on every run.
+3. **float32 vs float64** — the opt-in reduced-precision mode's further
+   win on the same problem.
+
+Run standalone (writes the JSON next to the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py \
+        --genes 1000 --samples 60 --b-perm 2000 --b-kernel 400 --repeats 1
+
+or through pytest (small workload, asserts the wins)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel_hotpath.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.adjust import side_adjust, successive_maxima
+from repro.core.kernel import (
+    DEFAULT_CHUNK,
+    KernelCounts,
+    compute_observed,
+    run_kernel,
+    tie_tolerance,
+)
+from repro.core.options import build_generator, build_statistic, validate_options
+from repro.data import block_labels, two_class_labels
+from repro.permute import DEFAULT_SEED
+
+DEFAULT_GENES = 5_000
+DEFAULT_SAMPLES = 100
+DEFAULT_B_PERM = 10_000
+DEFAULT_B_KERNEL = 2_000
+DEFAULT_REPEATS = 3
+RESULT_FILE = "BENCH_kernel.json"
+
+
+def _best(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# The pre-PR implementations, reproduced verbatim
+# ---------------------------------------------------------------------------
+
+def _legacy_rng(seed, index):
+    """Pre-PR fixed-seed mode: a fresh seeded RNG per permutation index."""
+    return np.random.default_rng([np.uint64(seed), np.uint64(index)])
+
+
+def _legacy_label_rows(labels, seed, start, count):
+    rows = [_legacy_rng(seed, start + i).permutation(labels)
+            for i in range(count)]
+    return np.stack(rows).astype(np.int64, copy=False)
+
+
+def _legacy_sign_rows(npairs, seed, start, count):
+    rows = [_legacy_rng(seed, start + i).integers(0, 2, size=npairs,
+                                                  dtype=np.int64) * 2 - 1
+            for i in range(count)]
+    return np.stack(rows).astype(np.int64, copy=False)
+
+
+def _legacy_block_rows(blocks, seed, start, count):
+    nblocks, k = blocks.shape
+    rows = []
+    for i in range(count):
+        rng = _legacy_rng(seed, start + i)
+        out = np.empty((nblocks, k), dtype=np.int64)
+        for b in range(nblocks):
+            out[b] = blocks[b][rng.permutation(k)]
+        rows.append(out.reshape(-1))
+    return np.stack(rows).astype(np.int64, copy=False)
+
+
+class _LegacyWelch:
+    """Pre-PR Welch-t batch engine: allocating moments, fresh temporaries."""
+
+    def __init__(self, X):
+        V = ~np.isnan(X)
+        self.V = V.astype(np.float64)
+        Xz = np.where(V, X, 0.0)
+        self.Xz = Xz
+        self.Xz2 = Xz * Xz
+        self.n_valid = self.V.sum(axis=1)
+        self.sum_all = self.Xz.sum(axis=1)
+        self.sumsq_all = self.Xz2.sum(axis=1)
+
+    def batch(self, encodings):
+        G = encodings.T.astype(np.float64)
+        N1 = self.V @ G
+        S1 = self.Xz @ G
+        Q1 = self.Xz2 @ G
+        N0 = self.n_valid[:, None] - N1
+        S0 = self.sum_all[:, None] - S1
+        Q0 = self.sumsq_all[:, None] - Q1
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean1 = S1 / N1
+            mean0 = S0 / N0
+            var1 = (Q1 - S1 * mean1) / (N1 - 1.0)
+            var0 = (Q0 - S0 * mean0) / (N0 - 1.0)
+            np.maximum(var1, 0.0, out=var1)
+            np.maximum(var0, 0.0, out=var0)
+            se = np.sqrt(var1 / N1 + var0 / N0)
+            t = (mean1 - mean0) / se
+        bad = (N1 < 2) | (N0 < 2) | (se == 0.0)
+        t[bad] = np.nan
+        return t
+
+
+def _legacy_kernel(X, labels, observed, count, seed=DEFAULT_SEED,
+                   chunk_size=DEFAULT_CHUNK):
+    """The pre-PR run_kernel: scalar permutation rows, allocating batches."""
+    stat = _LegacyWelch(X)
+    counts = KernelCounts.zeros(observed.m)
+    counts.raw += 1
+    counts.adjusted += 1
+    counts.nperm += 1
+    order = observed.order
+    untestable = observed.untestable
+    with np.errstate(invalid="ignore"):
+        tol = tie_tolerance(np.float64) * np.maximum(
+            np.abs(observed.scores), 1.0)
+        tol[~np.isfinite(tol)] = 0.0
+    threshold = (observed.scores - tol)[:, None]
+    threshold_ordered = threshold[order]
+    position = 1
+    remaining = count - 1
+    while remaining > 0:
+        nb = min(chunk_size, remaining)
+        enc = _legacy_label_rows(labels, seed, position, nb)
+        position += nb
+        with np.errstate(invalid="ignore", divide="ignore"):
+            perm_stats = stat.batch(enc)
+        scores = side_adjust(perm_stats, "abs")
+        if untestable.any():
+            scores[untestable, :] = -np.inf
+        counts.raw += (scores >= threshold).sum(axis=1)
+        u = successive_maxima(scores[order])
+        counts.adjusted += (u >= threshold_ordered).sum(axis=1)
+        counts.nperm += nb
+        remaining -= nb
+    return counts
+
+
+def _allocating_reference(stat, generator, observed, count,
+                          chunk_size=DEFAULT_CHUNK):
+    """The current statistic driven through the allocating (work=None) loop;
+    must be bit-identical to the workspace kernel."""
+    counts = KernelCounts.zeros(observed.m)
+    counts.raw += 1
+    counts.adjusted += 1
+    counts.nperm += 1
+    generator.reset()
+    generator.skip(1)
+    order = observed.order
+    untestable = observed.untestable
+    rel = tie_tolerance(stat.compute_dtype)
+    with np.errstate(invalid="ignore"):
+        tol = rel * np.maximum(np.abs(observed.scores), 1.0)
+        tol[~np.isfinite(tol)] = 0.0
+    threshold = (observed.scores - tol)[:, None].astype(stat.compute_dtype,
+                                                        copy=False)
+    threshold_ordered = threshold[order]
+    remaining = count - 1
+    while remaining > 0:
+        nb = min(chunk_size, remaining)
+        enc = np.stack(list(generator.take(nb))).astype(np.int64, copy=False)
+        perm_stats = stat.batch(enc)
+        scores = side_adjust(perm_stats, "abs")
+        if untestable.any():
+            scores[untestable, :] = -np.inf
+        counts.raw += (scores >= threshold).sum(axis=1)
+        u = successive_maxima(scores[order])
+        counts.adjusted += (u >= threshold_ordered).sum(axis=1)
+        counts.nperm += nb
+        remaining -= nb
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# 1. Permutation generation
+# ---------------------------------------------------------------------------
+
+def measure_permgen(n_samples, b_perm, repeats) -> dict:
+    from repro.permute import (
+        RandomBlockShuffle,
+        RandomLabelShuffle,
+        RandomSigns,
+    )
+
+    labels = two_class_labels(n_samples // 2, n_samples - n_samples // 2)
+    blocks = block_labels(max(2, n_samples // 4), 4)
+    bmat = blocks.reshape(-1, 4)
+    npairs = n_samples // 2
+    families = {
+        "label_shuffle": (
+            lambda: RandomLabelShuffle(labels, b_perm + 1),
+            lambda: _legacy_label_rows(labels, DEFAULT_SEED, 1, b_perm)),
+        "signs": (
+            lambda: RandomSigns(npairs, b_perm + 1),
+            lambda: _legacy_sign_rows(npairs, DEFAULT_SEED, 1, b_perm)),
+        "block_shuffle": (
+            lambda: RandomBlockShuffle(blocks, 4, b_perm + 1),
+            lambda: _legacy_block_rows(bmat, DEFAULT_SEED, 1, b_perm)),
+    }
+    out = {}
+    for name, (make, legacy) in families.items():
+        def batched():
+            gen = make()
+            gen.skip(1)
+            return gen.take_batch(b_perm)
+
+        # Consistency guard: the batch path must equal the scalar path of
+        # the same (current) sequence before its time means anything.
+        check = make()
+        check.skip(1)
+        head = np.stack(list(check.take(min(b_perm, 64))))
+        assert np.array_equal(batched()[:len(head)], head), name
+
+        legacy_s = _best(legacy, repeats)
+        batch_s = _best(batched, repeats)
+        out[name] = {
+            "legacy_s": legacy_s,
+            "batched_s": batch_s,
+            "speedup": legacy_s / batch_s,
+            "perms_per_s": b_perm / batch_s,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 2. The kernel loop
+# ---------------------------------------------------------------------------
+
+def _kernel_problem(n_genes, n_samples, b_kernel, dtype="float64", seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_genes, n_samples))
+    labels = two_class_labels(n_samples // 2, n_samples - n_samples // 2)
+    options = validate_options(labels, test="t", B=b_kernel, dtype=dtype)
+    stat = build_statistic(options, X, labels)
+    generator = build_generator(options, labels)
+    observed = compute_observed(stat, "abs")
+    return X, labels, stat, generator, observed
+
+
+def measure_kernel(n_genes, n_samples, b_kernel, repeats) -> dict:
+    X, labels, stat, generator, observed = _kernel_problem(
+        n_genes, n_samples, b_kernel)
+
+    # Correctness guard: workspace loop == allocating loop, bit for bit.
+    current = run_kernel(stat, generator, observed, "abs", 0, b_kernel)
+    reference = _allocating_reference(stat, generator, observed, b_kernel)
+    assert np.array_equal(current.raw, reference.raw)
+    assert np.array_equal(current.adjusted, reference.adjusted)
+
+    legacy_s = _best(
+        lambda: _legacy_kernel(X, labels, observed, b_kernel), repeats)
+    kernel_s = _best(
+        lambda: run_kernel(stat, generator, observed, "abs", 0, b_kernel),
+        repeats)
+
+    _, _, stat32, gen32, obs32 = _kernel_problem(n_genes, n_samples,
+                                                 b_kernel, dtype="float32")
+    run_kernel(stat32, gen32, obs32, "abs", 0, min(b_kernel, 200))  # warm
+    kernel32_s = _best(
+        lambda: run_kernel(stat32, gen32, obs32, "abs", 0, b_kernel),
+        repeats)
+
+    return {
+        "legacy_s": legacy_s,
+        "workspace_s": kernel_s,
+        "speedup": legacy_s / kernel_s,
+        "float32_s": kernel32_s,
+        "float32_speedup_vs_float64": kernel_s / kernel32_s,
+        "us_per_perm": kernel_s / b_kernel * 1e6,
+    }
+
+
+def measure(n_genes=DEFAULT_GENES, n_samples=DEFAULT_SAMPLES,
+            b_perm=DEFAULT_B_PERM, b_kernel=DEFAULT_B_KERNEL,
+            repeats=DEFAULT_REPEATS) -> dict:
+    permgen = measure_permgen(n_samples, b_perm, repeats)
+    kernel = measure_kernel(n_genes, n_samples, b_kernel, repeats)
+    return {
+        "benchmark": "kernel_hotpath",
+        "matrix": [n_genes, n_samples],
+        "b_perm": b_perm,
+        "b_kernel": b_kernel,
+        "repeats": repeats,
+        "permgen": permgen,
+        "kernel": kernel,
+        "permgen_speedup": permgen["label_shuffle"]["speedup"],
+        "kernel_speedup": kernel["speedup"],
+    }
+
+
+def test_permgen_and_kernel_win():
+    """Smoke acceptance at reduced scale: both rewrites must win."""
+    result = measure(n_genes=800, n_samples=64, b_perm=3_000, b_kernel=500,
+                     repeats=2)
+    assert result["permgen_speedup"] > 1.5, result["permgen"]
+    assert result["kernel_speedup"] > 1.0, result["kernel"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the pmaxT kernel hot path before/after ISSUE 2.")
+    parser.add_argument("--genes", type=int, default=DEFAULT_GENES)
+    parser.add_argument("--samples", type=int, default=DEFAULT_SAMPLES)
+    parser.add_argument("--b-perm", type=int, default=DEFAULT_B_PERM)
+    parser.add_argument("--b-kernel", type=int, default=DEFAULT_B_KERNEL)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--out", default=None,
+                        help=f"output JSON path (default: {RESULT_FILE} "
+                        "in the repository root)")
+    args = parser.parse_args(argv)
+
+    result = measure(args.genes, args.samples, args.b_perm, args.b_kernel,
+                     args.repeats)
+
+    out = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / RESULT_FILE
+    out.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"matrix {args.genes}x{args.samples}, B_perm={args.b_perm}, "
+          f"B_kernel={args.b_kernel}, best of {args.repeats}")
+    for name, row in result["permgen"].items():
+        print(f"  permgen {name:14s} legacy {row['legacy_s'] * 1e3:8.1f} ms"
+              f"   batched {row['batched_s'] * 1e3:8.1f} ms"
+              f"   speedup {row['speedup']:5.1f}x"
+              f"   ({row['perms_per_s'] / 1e3:.0f}k perms/s)")
+    k = result["kernel"]
+    print(f"  kernel  {'float64':14s} legacy {k['legacy_s'] * 1e3:8.1f} ms"
+          f"   workspace {k['workspace_s'] * 1e3:6.1f} ms"
+          f"   speedup {k['speedup']:5.2f}x"
+          f"   ({k['us_per_perm']:.0f} us/perm)")
+    print(f"  kernel  {'float32':14s} workspace {k['float32_s'] * 1e3:8.1f} ms"
+          f"   further {k['float32_speedup_vs_float64']:5.2f}x over float64")
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,6 +64,16 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=available_backends(),
                         help="execution backend for --ranks > 1 "
                         f"(default: {DEFAULT_BACKEND})")
+    parser.add_argument("--blas-threads", type=int, default=None,
+                        metavar="T",
+                        help="per-rank BLAS threadpool cap (default: "
+                        "automatic cores//ranks for process backends; "
+                        "0 disables capping)")
+    parser.add_argument("--dtype", default="float64",
+                        choices=("float64", "float32"),
+                        help="statistic compute precision (float32: ~2x "
+                        "BLAS speed at ~1e-5 relative accuracy; default: "
+                        "float64)")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="enable checkpoint/restart into this directory")
     parser.add_argument("--out", default=None, metavar="TSV",
@@ -98,6 +108,8 @@ def main(argv: list[str] | None = None) -> int:
             fixed_seed_sampling=args.fixed_seed_sampling,
             B=args.b,
             nonpara=args.nonpara,
+            dtype=args.dtype,
+            blas_threads=args.blas_threads,
             row_names=row_names,
             checkpoint_dir=args.checkpoint_dir,
         )

@@ -43,21 +43,32 @@ __all__ = [
 SIDES: tuple[str, ...] = ("abs", "upper", "lower")
 
 
-def side_adjust(values: np.ndarray, side: str) -> np.ndarray:
+def side_adjust(values: np.ndarray, side: str,
+                out: np.ndarray | None = None) -> np.ndarray:
     """Map raw statistics to extremeness scores for the chosen ``side``.
 
     NaN (undefined statistic) becomes ``-inf``: it never beats any observed
     score, so untestable rows never count as extreme.
+
+    ``out`` may alias ``values`` (the kernel adjusts statistics in place in
+    their workspace buffer); the result values are identical either way.
+    Floating inputs keep their dtype (the float32 compute mode flows
+    through); everything else is computed in float64.
     """
-    if side == "abs":
-        out = np.abs(values)
-    elif side == "upper":
-        out = np.array(values, dtype=np.float64, copy=True)
-    elif side == "lower":
-        out = -np.asarray(values, dtype=np.float64)
-    else:
+    if side not in SIDES:
         raise OptionError(f"side must be one of {SIDES}, got {side!r}")
-    out = np.where(np.isnan(out), -np.inf, out)
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.floating):
+        values = values.astype(np.float64)
+    if out is None:
+        out = np.empty(values.shape, dtype=values.dtype)
+    if side == "abs":
+        np.abs(values, out=out)
+    elif side == "upper":
+        np.copyto(out, values)
+    else:
+        np.negative(values, out=out)
+    out[np.isnan(out)] = -np.inf
     return out
 
 
@@ -71,7 +82,8 @@ def significance_order(scores: np.ndarray) -> np.ndarray:
     return np.argsort(-scores, kind="stable")
 
 
-def successive_maxima(scores_ordered: np.ndarray) -> np.ndarray:
+def successive_maxima(scores_ordered: np.ndarray,
+                      out: np.ndarray | None = None) -> np.ndarray:
     """Step-down successive maxima along the significance ordering.
 
     Parameters
@@ -84,8 +96,17 @@ def successive_maxima(scores_ordered: np.ndarray) -> np.ndarray:
     -------
     numpy.ndarray
         ``u`` of the same shape: ``u[i] = max(scores_ordered[i:], axis=0)``.
+
+    Notes
+    -----
+    ``out`` may be ``scores_ordered`` itself: the accumulation walks the
+    rows bottom-up in place, which is how the kernel workspace computes the
+    step-down maxima without a scratch matrix.
     """
-    return np.maximum.accumulate(scores_ordered[::-1], axis=0)[::-1]
+    if out is None:
+        return np.maximum.accumulate(scores_ordered[::-1], axis=0)[::-1]
+    np.maximum.accumulate(scores_ordered[::-1], axis=0, out=out[::-1])
+    return out
 
 
 def pvalues_from_counts(

@@ -36,7 +36,13 @@ import numpy as np
 from ..errors import DataError
 from ..permute.base import PermutationGenerator
 from ..stats.base import TestStatistic
-from .kernel import DEFAULT_CHUNK, KernelCounts, ObservedScores, run_kernel
+from .kernel import (
+    DEFAULT_CHUNK,
+    KernelCounts,
+    KernelWorkspace,
+    ObservedScores,
+    run_kernel,
+)
 from .options import MaxTOptions
 
 __all__ = [
@@ -64,7 +70,8 @@ def problem_fingerprint(X: np.ndarray, classlabel: np.ndarray,
     payload = (
         options.test, options.side, options.fixed_seed_sampling, options.B,
         options.na, options.nonpara, options.seed, options.nperm,
-        options.complete, options.store, int(start), int(count),
+        options.complete, options.store, options.dtype,
+        int(start), int(count),
     )
     h.update(repr(payload).encode())
     return h.hexdigest()
@@ -192,6 +199,8 @@ def run_kernel_resumable(
         done = 0
         counts = KernelCounts.zeros(observed.m)
 
+    # One workspace serves every checkpoint interval of this problem.
+    workspace = KernelWorkspace.for_stat(stat, chunk_size)
     processed_now = 0
     while done < count:
         step = min(interval, count - done)
@@ -202,6 +211,7 @@ def run_kernel_resumable(
                     stat, generator, observed, side,
                     start=start + done, count=step, chunk_size=chunk_size,
                     first_is_observed=first_is_observed and done == 0,
+                    workspace=workspace,
                 )
                 counts += piece
                 done += step
@@ -213,6 +223,7 @@ def run_kernel_resumable(
             stat, generator, observed, side,
             start=start + done, count=step, chunk_size=chunk_size,
             first_is_observed=first_is_observed and done == 0,
+            workspace=workspace,
         )
         counts += piece
         done += step

@@ -14,6 +14,38 @@ Permutations are processed in batches (default 64): the generator emits a
 GEMMs, and the successive-maxima/counting step is pure vectorized NumPy.
 Batching is the main optimization over the paper's one-permutation-at-a-time
 C loop and is what lets a NumPy implementation approach compiled speed.
+
+Workspace discipline
+--------------------
+
+At kernel scale the batch loop's cost is dominated by memory traffic, and
+a naively vectorized batch allocates a dozen ``(m, nb)`` float temporaries
+— each one an ``mmap`` + page-fault round trip at typical sizes.  A
+:class:`KernelWorkspace` removes that: it owns a reusable encoding buffer,
+a pooled set of named statistic scratch matrices
+(:class:`~repro.stats.base.WorkBuffers`), and the ordered-scores/flag
+buffers of the counting step, so after the first batch warms the pool the
+loop performs **no floating-point ``(m, nb)`` allocations at all** — every
+GEMM runs with ``out=``, the side adjustment and successive maxima happen
+in place, and the comparisons land in a reused boolean buffer.
+
+Workspace lifetime rules:
+
+* one workspace serves one ``(stat, chunk_size)`` problem shape; it may be
+  reused across any number of :func:`run_kernel` calls with the same shape
+  (the checkpointing driver does exactly that);
+* the matrices returned by ``stat.batch(..., work=...)`` and the
+  workspace's views are valid **only until the next batch** touches the
+  pool — the kernel consumes them immediately and so must any other caller;
+* a workspace is single-threaded state: give each rank/thread its own
+  (they are cheap: ~``(m x chunk)`` times a dozen buffers, the same
+  footprint the allocating path paid *per batch*);
+* ``run_kernel(workspace=None)`` builds a private one per call, so casual
+  callers get the fast path automatically.
+
+Bit-identity: the pooled loop performs the identical floating-point
+operations in the identical order as the allocating loop, so kernel counts
+with and without a workspace are bit-identical (pinned by the test suite).
 """
 
 from __future__ import annotations
@@ -24,13 +56,18 @@ import numpy as np
 
 from ..errors import PermutationError
 from ..permute.base import PermutationGenerator
-from ..stats.base import TestStatistic
+from ..stats.base import TestStatistic, WorkBuffers
 from .adjust import side_adjust, significance_order, successive_maxima
 
-__all__ = ["KernelCounts", "ObservedScores", "compute_observed", "run_kernel",
-           "DEFAULT_CHUNK", "TIE_TOLERANCE"]
+__all__ = ["KernelCounts", "KernelWorkspace", "ObservedScores",
+           "compute_observed", "run_kernel", "DEFAULT_CHUNK",
+           "TIE_TOLERANCE", "TIE_TOLERANCE_F32", "tie_tolerance"]
 
-#: Default permutation batch size for the vectorized kernel.
+#: Default permutation batch size for the vectorized kernel.  64 keeps the
+#: per-batch working set (~a dozen ``m x 64`` matrices) inside the outer
+#: cache levels on typical hosts; measurements in
+#: ``benchmarks/bench_kernel_hotpath.py`` show larger chunks *lose* time to
+#: cache misses once ``m`` is in the thousands.
 DEFAULT_CHUNK: int = 64
 
 #: Relative tolerance for the ``permuted >= observed`` counting comparison.
@@ -47,6 +84,17 @@ DEFAULT_CHUNK: int = 64
 #: relative, three orders of magnitude below the margin, while genuinely
 #: distinct statistics differ by far more than 1e-9 on continuous data.
 TIE_TOLERANCE: float = 1e-9
+
+#: The float32 compute mode's counterpart: single-precision GEMM noise is
+#: ~1e-6 relative, so the tie margin widens accordingly (still far below
+#: the gap between genuinely distinct statistics on continuous data).
+TIE_TOLERANCE_F32: float = 1e-4
+
+
+def tie_tolerance(dtype) -> float:
+    """The counting tie tolerance for a compute dtype."""
+    return TIE_TOLERANCE_F32 if np.dtype(dtype) == np.float32 \
+        else TIE_TOLERANCE
 
 
 @dataclass
@@ -85,6 +133,62 @@ class KernelCounts:
         for o in others:
             out += o
         return out
+
+
+class KernelWorkspace:
+    """Reusable buffers for the batched kernel (see the module docstring).
+
+    Parameters
+    ----------
+    m, width:
+        Problem shape: hypothesis rows and encoding width.
+    chunk_size:
+        Maximum batch size the workspace will serve; smaller tail batches
+        are served as leading-slice views.
+    dtype:
+        Compute dtype of the statistic this workspace will partner.
+    """
+
+    def __init__(self, m: int, width: int, chunk_size: int,
+                 dtype=np.float64):
+        if chunk_size <= 0:
+            raise PermutationError(
+                f"chunk_size must be positive, got {chunk_size}")
+        self.m = int(m)
+        self.width = int(width)
+        self.chunk_size = int(chunk_size)
+        self.dtype = np.dtype(dtype)
+        #: Encoding buffer handed to ``generator.take_batch(out=...)``.
+        self.enc = np.empty((self.chunk_size, self.width), dtype=np.int64)
+        #: Named statistic scratch pool threaded through ``stat.batch``.
+        self.pool = WorkBuffers()
+        self._ordered = np.empty((self.m, self.chunk_size), dtype=self.dtype)
+        self._flags = np.empty((self.m, self.chunk_size), dtype=bool)
+
+    @classmethod
+    def for_stat(cls, stat: TestStatistic,
+                 chunk_size: int = DEFAULT_CHUNK) -> "KernelWorkspace":
+        """A workspace matching one bound statistic's problem shape."""
+        return cls(stat.m, stat.width, chunk_size, stat.compute_dtype)
+
+    def compatible_with(self, stat: TestStatistic, chunk_size: int) -> bool:
+        """Whether this workspace can serve ``stat`` at ``chunk_size``."""
+        return (self.m == stat.m and self.width == stat.width
+                and self.chunk_size >= chunk_size
+                and self.dtype == stat.compute_dtype)
+
+    def ordered(self, nb: int) -> np.ndarray:
+        """The ``(m, nb)`` ordered-scores buffer for one batch."""
+        return self._ordered[:, :nb]
+
+    def flags(self, nb: int) -> np.ndarray:
+        """The ``(m, nb)`` boolean comparison buffer for one batch."""
+        return self._flags[:, :nb]
+
+    def nbytes(self) -> int:
+        """Current footprint (encoding + counting buffers + warm pool)."""
+        return (self.enc.nbytes + self._ordered.nbytes + self._flags.nbytes
+                + self.pool.nbytes())
 
 
 @dataclass
@@ -135,6 +239,7 @@ def run_kernel(
     count: int,
     chunk_size: int = DEFAULT_CHUNK,
     first_is_observed: bool | None = None,
+    workspace: KernelWorkspace | None = None,
 ) -> KernelCounts:
     """Accumulate maxT counts over permutations ``[start, start + count)``.
 
@@ -154,6 +259,11 @@ def run_kernel(
     last-ulp BLAS differences between batch shapes; the analytic treatment
     is both exact and the direct translation of the paper's "the first
     permutation only needs to be taken into account once by the master".
+
+    ``workspace`` is an optional :class:`KernelWorkspace` (reused across
+    calls by the checkpoint driver); with ``None`` a private one is built,
+    so every caller gets the allocation-free batch loop.  Counts are
+    bit-identical either way.
     """
     if chunk_size <= 0:
         raise PermutationError(f"chunk_size must be positive, got {chunk_size}")
@@ -181,26 +291,36 @@ def run_kernel(
     generator.reset()
     generator.skip(start)
 
+    if workspace is None or not workspace.compatible_with(stat, chunk_size):
+        workspace = KernelWorkspace.for_stat(stat, chunk_size)
+
     order = observed.order
     untestable = observed.untestable
-    # Tie-tolerant thresholds (see TIE_TOLERANCE).  -inf stays -inf.
+    any_untestable = bool(untestable.any())
+    # Tie-tolerant thresholds (see TIE_TOLERANCE / TIE_TOLERANCE_F32).
+    # -inf stays -inf.
+    rel = tie_tolerance(stat.compute_dtype)
     with np.errstate(invalid="ignore"):
-        tol = TIE_TOLERANCE * np.maximum(np.abs(observed.scores), 1.0)
+        tol = rel * np.maximum(np.abs(observed.scores), 1.0)
         tol[~np.isfinite(tol)] = 0.0
     threshold = (observed.scores - tol)[:, None]            # original order
+    threshold = threshold.astype(stat.compute_dtype, copy=False)
     threshold_ordered = threshold[order]                    # significance order
 
     remaining = count
     while remaining > 0:
         nb = min(chunk_size, remaining)
-        enc = generator.take_batch(nb)
-        perm_stats = stat.batch(enc)                      # (m, nb)
-        scores = side_adjust(perm_stats, side)
-        if untestable.any():
+        enc = generator.take_batch(nb, out=workspace.enc)
+        perm_stats = stat.batch(enc, work=workspace.pool)   # (m, nb)
+        scores = side_adjust(perm_stats, side, out=perm_stats)
+        if any_untestable:
             scores[untestable, :] = -np.inf
-        counts.raw += (scores >= threshold).sum(axis=1)
-        u = successive_maxima(scores[order])
-        counts.adjusted += (u >= threshold_ordered).sum(axis=1)
+        ge = np.greater_equal(scores, threshold, out=workspace.flags(nb))
+        counts.raw += np.count_nonzero(ge, axis=1)
+        u = np.take(scores, order, axis=0, out=workspace.ordered(nb))
+        successive_maxima(u, out=u)
+        np.greater_equal(u, threshold_ordered, out=ge)
+        counts.adjusted += np.count_nonzero(ge, axis=1)
         counts.nperm += nb
         remaining -= nb
     return counts

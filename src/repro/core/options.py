@@ -36,7 +36,7 @@ from ..permute import (
 )
 from ..permute.base import PermutationGenerator
 from ..stats import MT_NA_NUM, available_tests, make_statistic
-from ..stats.base import TestStatistic
+from ..stats.base import COMPUTE_DTYPES, TestStatistic
 from .adjust import SIDES
 from .kernel import DEFAULT_CHUNK
 
@@ -64,6 +64,9 @@ class MaxTOptions:
     seed: int = DEFAULT_SEED
     chunk_size: int = DEFAULT_CHUNK
     complete_limit: int = DEFAULT_COMPLETE_LIMIT
+    #: Compute dtype of the statistic kernels ("float64" default;
+    #: "float32" is the opt-in fast mode).
+    dtype: str = "float64"
     #: Resolved total permutation count including the observed labelling
     #: (filled in by :func:`validate_options`).
     nperm: int = 0
@@ -94,6 +97,7 @@ def validate_options(
     seed: int = DEFAULT_SEED,
     chunk_size: int = DEFAULT_CHUNK,
     complete_limit: int = DEFAULT_COMPLETE_LIMIT,
+    dtype: str = "float64",
 ) -> MaxTOptions:
     """Validate the R-style options and resolve the permutation plan.
 
@@ -125,6 +129,9 @@ def validate_options(
         raise OptionError(f"B must be >= 0 (0 = complete permutations), got {B}")
     if chunk_size <= 0:
         raise OptionError(f"chunk_size must be positive, got {chunk_size}")
+    if str(dtype) not in COMPUTE_DTYPES:
+        raise OptionError(
+            f"dtype must be one of {COMPUTE_DTYPES}, got {dtype!r}")
 
     nperm, complete = resolve_permutation_count(
         test, classlabel, int(B), limit=complete_limit
@@ -140,6 +147,7 @@ def validate_options(
         seed=int(seed),
         chunk_size=int(chunk_size),
         complete_limit=int(complete_limit),
+        dtype=str(dtype),
         nperm=nperm,
         complete=complete,
         store=store,
@@ -149,7 +157,8 @@ def validate_options(
 def build_statistic(options: MaxTOptions, X, classlabel) -> TestStatistic:
     """Instantiate the statistic for a validated option set."""
     return make_statistic(
-        options.test, X, classlabel, na=options.na, nonpara=options.nonpara
+        options.test, X, classlabel, na=options.na, nonpara=options.nonpara,
+        dtype=options.dtype,
     )
 
 

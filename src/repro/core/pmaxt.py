@@ -72,6 +72,8 @@ _TEST_CODES = {"t": 0, "t.equalvar": 1, "wilcoxon": 2, "f": 3, "pairt": 4,
 _TEST_NAMES = {v: k for k, v in _TEST_CODES.items()}
 _SIDE_CODES = {"abs": 0, "upper": 1, "lower": 2}
 _SIDE_NAMES = {v: k for k, v in _SIDE_CODES.items()}
+_DTYPE_CODES = {"float64": 0, "float32": 1}
+_DTYPE_NAMES = {v: k for k, v in _DTYPE_CODES.items()}
 
 
 def _pack_options(o: MaxTOptions) -> tuple:
@@ -89,6 +91,7 @@ def _pack_options(o: MaxTOptions) -> tuple:
         o.nperm,
         1 if o.complete else 0,
         1 if o.store else 0,
+        _DTYPE_CODES[o.dtype],
     )
 
 
@@ -107,6 +110,7 @@ def _unpack_options(t: tuple) -> MaxTOptions:
         nperm=int(t[9]),
         complete=bool(t[10]),
         store=bool(t[11]),
+        dtype=_DTYPE_NAMES[t[12]],
     )
 
 
@@ -126,6 +130,8 @@ def pmaxT(
     seed: int = DEFAULT_SEED,
     chunk_size: int = DEFAULT_CHUNK,
     complete_limit: int = DEFAULT_COMPLETE_LIMIT,
+    dtype: str = "float64",
+    blas_threads: int | None = None,
     row_names: list[str] | None = None,
     checkpoint_dir: str | None = None,
     checkpoint_interval: int = 2_048,
@@ -148,6 +154,18 @@ def pmaxT(
     arrives via the master's broadcast.  The result is returned on the
     master; workers receive ``None``.
 
+    ``dtype`` selects the statistic compute precision: ``"float64"``
+    (default) or ``"float32"`` (~2x BLAS throughput at ~1e-5 relative
+    accuracy; the kernel's tie tolerance widens accordingly).
+
+    ``blas_threads`` caps each rank's BLAS threadpool.  The
+    ``processes``/``shm`` worker bootstrap already auto-caps at
+    ``max(1, cores // ranks)`` (the oversubscription fix); pass an
+    explicit value to override it, or ``0`` to disable capping.  On the
+    ``backend=``/``ranks=`` path the cap is scoped to the launched world;
+    on the ``comm=`` (user-managed SPMD) path it caps the calling rank's
+    own pool and persists for that rank's lifetime.
+
     ``checkpoint_dir`` enables the fault-tolerance extension (paper
     future-work item 1): each rank periodically persists its partial counts
     and a re-run of the identical call resumes from the last checkpoint
@@ -168,14 +186,28 @@ def pmaxT(
                 fixed_seed_sampling=fixed_seed_sampling, B=B, na=na,
                 nonpara=nonpara, comm=world_comm, seed=seed,
                 chunk_size=chunk_size, complete_limit=complete_limit,
-                row_names=row_names, checkpoint_dir=checkpoint_dir,
+                dtype=dtype, row_names=row_names,
+                checkpoint_dir=checkpoint_dir,
                 checkpoint_interval=checkpoint_interval,
             )
 
-        return launch_master(backend, ranks, _job, comm=comm, caller="pmaxT")
+        return launch_master(backend, ranks, _job, comm=comm, caller="pmaxT",
+                             blas_threads=blas_threads)
 
     if comm is None:
         comm = SerialComm()
+    if blas_threads is not None and int(blas_threads) < 0:
+        from ..errors import OptionError
+
+        raise OptionError(
+            f"blas_threads must be >= 0 (0 disables capping), "
+            f"got {blas_threads}")
+    if blas_threads is not None and blas_threads != 0:
+        # SPMD path (or plain serial call): cap this rank's own pool.  The
+        # backend=/ranks= path above handles capping via launch_master.
+        from ..mpi.blasctl import set_blas_threads
+
+        set_blas_threads(blas_threads)
     master = comm.is_master
     timer = SectionTimer()
 
@@ -196,6 +228,7 @@ def pmaxT(
                 seed=seed,
                 chunk_size=chunk_size,
                 complete_limit=complete_limit,
+                dtype=dtype,
             )
             packed = _pack_options(options)
 

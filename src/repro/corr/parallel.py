@@ -39,7 +39,8 @@ def pcor(X=None, Y=None, *, use: str = "everything",
          na: float | None = None,
          comm: Communicator | None = None,
          backend: str | None = None,
-         ranks: int | None = None) -> np.ndarray | None:
+         ranks: int | None = None,
+         blas_threads: int | None = None) -> np.ndarray | None:
     """Parallel Pearson correlation of matrix rows.
 
     SPMD entry point with the same contract as :func:`~repro.core.pmaxt.pmaxT`:
@@ -62,7 +63,8 @@ def pcor(X=None, Y=None, *, use: str = "everything",
                         Y if world_comm.is_master else None,
                         use=use, na=na, comm=world_comm)
 
-        return launch_master(backend, ranks, _job, comm=comm, caller="pcor")
+        return launch_master(backend, ranks, _job, comm=comm, caller="pcor",
+                             blas_threads=blas_threads)
 
     if comm is None:
         comm = SerialComm()

@@ -45,6 +45,13 @@ from .backends import (
     resolve_backend,
     run_backend,
 )
+from .blasctl import (
+    blas_available,
+    blas_thread_limit,
+    get_blas_threads,
+    recommended_blas_threads,
+    set_blas_threads,
+)
 from .comm import MAX, MIN, SUM, Communicator, ReduceOp
 from .processes import ProcessComm, run_spmd_processes
 from .serial import SerialComm
@@ -75,4 +82,9 @@ __all__ = [
     "resolve_backend",
     "available_backends",
     "run_backend",
+    "blas_available",
+    "blas_thread_limit",
+    "get_blas_threads",
+    "set_blas_threads",
+    "recommended_blas_threads",
 ]

@@ -189,23 +189,50 @@ def run_backend(spec: str | Backend, fn: SpmdFunction, ranks: int, *,
 
 def launch_master(backend: str | Backend | None, ranks: int | None,
                   fn: SpmdFunction, *, comm: Any = None,
-                  caller: str = "this function") -> Any:
+                  caller: str = "this function",
+                  blas_threads: int | None = None) -> Any:
     """Launch a world for a ``backend=``/``ranks=`` convenience call.
 
     Shared preamble of ``pmaxT(..., backend=, ranks=)`` and
     ``pcor(..., backend=, ranks=)``: reject a simultaneous ``comm=``,
     default the backend/rank count, run ``fn`` on every rank and return
     the master's (rank 0's) result.
+
+    ``blas_threads`` caps each rank's BLAS threadpool for the duration of
+    the world (``0`` disables capping).  The ``processes``/``shm`` worker
+    bootstrap applies an automatic ``max(1, cores // ranks)`` cap even
+    without it; an explicit value also covers the in-process backends,
+    whose shared pool is restored once the world completes.
     """
-    from ..errors import DataError
+    from ..errors import DataError, OptionError
 
     if comm is not None:
         raise DataError(
             f"pass either comm= (an existing SPMD world) or backend=/"
             f"ranks= ({caller} launches the world), not both")
+    if blas_threads is not None and int(blas_threads) < 0:
+        raise OptionError(
+            f"blas_threads must be >= 0 (0 disables capping), "
+            f"got {blas_threads}")
     spec = DEFAULT_BACKEND if backend is None else backend
     nranks = 1 if ranks is None else int(ranks)
-    return run_backend(spec, fn, nranks)[0]
+    resolved = resolve_backend(spec)
+    if blas_threads is None:
+        return resolved.run(fn, nranks)[0]
+    from .blasctl import blas_thread_limit, worker_cap_override
+
+    if resolved.in_process:
+        # One shared pool: cap it for the world's duration, restore after.
+        # 0 means "leave the pool alone", which is already the case here.
+        if blas_threads == 0:
+            return resolved.run(fn, nranks)[0]
+        with blas_thread_limit(blas_threads):
+            return resolved.run(fn, nranks)[0]
+    # Process-type world: the per-rank policy (including 0 = uncapped)
+    # must reach the worker *bootstrap*, which runs before fn; ship it
+    # through the environment the forked children inherit.
+    with worker_cap_override(blas_threads):
+        return resolved.run(fn, nranks)[0]
 
 
 for _backend in (SerialBackend(), ThreadBackend(), ProcessBackend(),

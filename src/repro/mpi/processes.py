@@ -266,9 +266,16 @@ class ProcessComm(Communicator):
 
 
 def _worker(comm_cls, fn, rank, size, inboxes, results,
-            timeout):  # pragma: no cover
+            timeout, blas_threads=None):  # pragma: no cover
     # (covered indirectly — runs in the child process)
     try:
+        # Cap this rank's BLAS pool before any GEMM spins it up: with
+        # `size` ranks sharing the host, an uncapped pool would schedule
+        # size x cores runnable threads (the classic oversubscription
+        # thrash).  None = auto cap; 0 = leave the pool alone.
+        from .blasctl import apply_worker_cap
+
+        apply_worker_cap(size, blas_threads)
         comm = comm_cls(rank, size, inboxes, timeout)
         try:
             results.put((rank, True, fn(comm)))
@@ -291,7 +298,8 @@ def _drain(q) -> list:
 
 def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
                        timeout: float = _DEFAULT_TIMEOUT,
-                       comm_cls: type[ProcessComm] = ProcessComm) -> list[Any]:
+                       comm_cls: type[ProcessComm] = ProcessComm,
+                       blas_threads: int | None = None) -> list[Any]:
     """Run ``fn(comm)`` on ``size`` OS processes; return rank-ordered results.
 
     Requires a picklable-under-fork ``fn`` (plain functions and closures
@@ -302,6 +310,11 @@ def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
     ``comm_cls`` selects the per-rank communicator (default
     :class:`ProcessComm`); :func:`~repro.mpi.shm.run_spmd_shm` reuses this
     driver with :class:`~repro.mpi.shm.ShmComm`.
+
+    ``blas_threads`` caps each rank's BLAS threadpool before ``fn`` runs:
+    ``None`` (default) applies the automatic ``max(1, cores // size)``
+    anti-oversubscription cap, an explicit integer forces that budget, and
+    ``0`` leaves the pool untouched (see :mod:`repro.mpi.blasctl`).
     """
     if size <= 0:
         raise CommunicatorError(f"world size must be positive, got {size}")
@@ -311,7 +324,7 @@ def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
     procs = [
         ctx.Process(target=_worker,
                     args=(comm_cls, fn, rank, size, inboxes, results_q,
-                          timeout),
+                          timeout, blas_threads),
                     name=f"spmd-proc-{rank}")
         for rank in range(size)
     ]

@@ -6,6 +6,8 @@ This subpackage implements the permutation machinery of ``mt.maxT``/``pmaxT``:
 * :mod:`~repro.permute.counting` — complete counts and the ``B = 0`` contract,
 * :mod:`~repro.permute.random_gen` — Monte-Carlo generators (fixed-seed
   on-the-fly and sequential-stream modes),
+* :mod:`~repro.permute.keystream` — the counter-based (Philox) key engine
+  behind the fixed-seed mode's vectorized batch generation,
 * :mod:`~repro.permute.complete` — exhaustive enumeration with O(1) skip,
 * :mod:`~repro.permute.storage` — the stored-permutation mode.
 
@@ -14,6 +16,7 @@ interface whose ``skip`` method is the paper's generator *forwarding*
 extension (Section 3.2, Figure 2).
 """
 
+from . import keystream
 from .base import PermutationGenerator
 from .complete import (
     CompleteBlock,
@@ -40,6 +43,7 @@ from .random_gen import (
 from .storage import StoredPermutations, should_store
 
 __all__ = [
+    "keystream",
     "PermutationGenerator",
     "CompleteGenerator",
     "CompleteTwoSample",

@@ -118,18 +118,67 @@ class PermutationGenerator(ABC):
             yield self._next()
             self._position += 1
 
-    def take_batch(self, count: int) -> np.ndarray:
-        """Return the next ``count`` encodings stacked into a matrix.
+    def take_batch(self, count: int, out: np.ndarray | None = None) -> np.ndarray:
+        """Return the next ``count`` encodings as a ``(count, width)`` matrix.
 
         The batch form feeds the vectorized statistic kernels, which evaluate
-        a whole chunk of permutations with one BLAS call.
+        a whole chunk of permutations with one BLAS call.  Subclasses with a
+        vectorized ``_fill_batch`` (all the random generators) produce the
+        whole batch in a handful of array operations; the default fills a
+        contiguous buffer row by row (no intermediate row list is built).
+
+        Parameters
+        ----------
+        count:
+            Number of encodings to emit (the position advances by this much).
+        out:
+            Optional reusable ``(>= count, width)`` int64 buffer — e.g. a
+            :class:`~repro.core.kernel.KernelWorkspace` encoding buffer.
+            When given, the batch is written into its first ``count`` rows
+            and that view is returned; generators that already hold the rows
+            contiguously (stored slices) may ignore it and return their own
+            zero-copy view instead, so always use the *returned* array.
         """
-        rows = list(self.take(count))
-        if rows:
-            return np.stack(rows).astype(np.int64, copy=False)
-        return np.empty((0, self.width), dtype=np.int64)
+        if count < 0:
+            raise PermutationError(f"cannot take a negative count ({count})")
+        if self._position + count > self.nperm:
+            raise PermutationError(
+                f"take_batch({count}) from position {self._position} passes "
+                f"the end of the enumeration (nperm={self.nperm})"
+            )
+        if count == 0:
+            return np.empty((0, self.width), dtype=np.int64)
+        if out is not None:
+            if (out.ndim != 2 or out.shape[0] < count
+                    or out.shape[1] != self.width
+                    or out.dtype != np.int64):
+                raise PermutationError(
+                    f"take_batch out= buffer must be (>= {count}, "
+                    f"{self.width}) int64, got {out.shape} {out.dtype}")
+            view = out[:count]
+        else:
+            view = np.empty((count, self.width), dtype=np.int64)
+        batch = self._fill_batch(view, count)
+        self._position += count
+        return batch
 
     # -- subclass hooks -------------------------------------------------------
+
+    def _fill_batch(self, out: np.ndarray, count: int) -> np.ndarray:
+        """Write encodings ``[position, position + count)`` into ``out``.
+
+        Must leave ``self._position`` unchanged (the caller advances it) and
+        return the filled array.  The default drives :meth:`_next` row by
+        row; random generators override it with vectorized batch draws.
+        """
+        pos = self._position
+        try:
+            for r in range(count):
+                out[r] = self._next()
+                self._position += 1
+        finally:
+            self._position = pos
+        return out
 
     def _next(self) -> np.ndarray:
         """Produce the encoding at the current position (before advancing)."""

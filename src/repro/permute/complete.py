@@ -134,6 +134,18 @@ class CompleteSigns(CompleteGenerator):
     def _unrank(self, lex_rank: int) -> np.ndarray:
         return unrank_signs(lex_rank, self.width)
 
+    def _fill_batch(self, out: np.ndarray, count: int) -> np.ndarray:
+        # Sign unranking is pure bit extraction, so a whole batch is two
+        # vectorized operations: indices -> big-endian bits -> +/-1.
+        idx = np.arange(self._position, self._position + count,
+                        dtype=np.int64)
+        shifts = np.arange(self.width - 1, -1, -1, dtype=np.int64)
+        np.right_shift(idx[:, None], shifts[None, :], out=out)
+        out &= 1
+        out *= -2
+        out += 1
+        return out
+
     @classmethod
     def from_classlabel(cls, classlabel, *, limit: int = DEFAULT_COMPLETE_LIMIT):
         """Build from a paired 0/1 classlabel vector (validates the layout)."""

@@ -1,0 +1,134 @@
+"""Counter-based key streams for the fixed-seed random generators.
+
+``fixed.seed.sampling = "y"`` promises that the permutation at index ``i``
+is a pure function of ``(seed, i)`` — the property that makes the paper's
+O(1) generator *forwarding* possible (any rank can reproduce any
+permutation without replaying a stream).  The original implementation
+honoured the contract by building a fresh seeded RNG per index, which costs
+a full seeding hash plus a Python object per permutation and caps batch
+generation at ~50k permutations/s.
+
+This module keys the randomness the modern way: a **counter-based** bit
+generator (Philox-4x64) whose 256-bit counter is an explicit function of
+the permutation index.  Each index owns a fixed, disjoint block of the
+counter space::
+
+    blocks_per_index = ceil(words_needed / 4)          # 4 x u64 per block
+    keys(i)          = raw64[ i*bpi*4 : i*bpi*4 + words_needed ]
+
+so a *batch* of consecutive indices is one contiguous ``random_raw`` call —
+a single C-loop emitting millions of words per second — while random access
+to any single index is a counter jump.  Skipping is free, partitioning the
+index range across ranks cannot change any permutation, and generating a
+batch is bit-identical to generating its rows one at a time (the property
+the generator test-suite pins).
+
+From the raw 64-bit keys the three encoding families follow vectorized:
+
+* label shuffles: ``argsort`` of each index's key row — a uniformly random
+  permutation (the classic sort-of-random-keys construction; ties occur
+  with probability ~2^-64 per pair and break deterministically);
+* sign vectors: the low bit of each key;
+* block shuffles: per-block ``argsort`` of key sub-rows.
+
+Determinism: Philox output is fixed by specification (counter + key in,
+words out; no seeding hash involved) and NumPy's introsort is deterministic
+for a given input, so sequences are stable across platforms and NumPy
+versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PermutationError
+
+__all__ = [
+    "WORDS_PER_BLOCK",
+    "raw_keys",
+    "label_permutations",
+    "sign_vectors",
+    "block_permutations",
+]
+
+#: 64-bit words produced per Philox-4x64 counter increment.
+WORDS_PER_BLOCK = 4
+
+_M64 = (1 << 64) - 1
+
+
+def _key_words(seed: int) -> np.ndarray:
+    """The 128-bit Philox key for a user seed, as two little-endian words."""
+    seed = int(seed)
+    if seed < 0:
+        raise PermutationError(f"seed must be non-negative, got {seed}")
+    return np.array([seed & _M64, (seed >> 64) & _M64], dtype=np.uint64)
+
+
+def _counter_words(counter: int) -> np.ndarray:
+    """A block counter as the four little-endian uint64 words Philox takes."""
+    return np.array(
+        [(counter >> shift) & _M64 for shift in (0, 64, 128, 192)],
+        dtype=np.uint64,
+    )
+
+
+def blocks_per_index(words: int) -> int:
+    """Counter blocks reserved per permutation index for ``words`` keys."""
+    if words <= 0:
+        raise PermutationError(f"key width must be positive, got {words}")
+    return -(-words // WORDS_PER_BLOCK)
+
+
+def raw_keys(seed: int, start: int, count: int, words: int) -> np.ndarray:
+    """Raw 64-bit keys for indices ``[start, start + count)``.
+
+    Returns a ``(count, words)`` uint64 matrix; row ``r`` depends only on
+    ``(seed, start + r)``, so any sub-range of indices yields the same rows.
+    """
+    if start < 0 or count < 0:
+        raise PermutationError(
+            f"invalid key range start={start}, count={count}")
+    bpi = blocks_per_index(words)
+    if count == 0:
+        return np.empty((0, words), dtype=np.uint64)
+    gen = np.random.Philox(key=_key_words(seed),
+                           counter=_counter_words(start * bpi))
+    raw = gen.random_raw(count * bpi * WORDS_PER_BLOCK)
+    return raw.reshape(count, bpi * WORDS_PER_BLOCK)[:, :words]
+
+
+def label_permutations(seed: int, start: int, count: int,
+                       labels: np.ndarray) -> np.ndarray:
+    """Uniform random arrangements of ``labels`` for a run of indices.
+
+    Each row is ``labels`` reordered by the argsort of that index's key
+    row — the vectorized equivalent of one uniform shuffle per index.
+    """
+    keys = raw_keys(seed, start, count, labels.size)
+    sigma = np.argsort(keys, axis=1)
+    return labels[sigma]
+
+
+def sign_vectors(seed: int, start: int, count: int, npairs: int) -> np.ndarray:
+    """Fair ``+1``/``-1`` vectors (one key word per sign; low bit decides)."""
+    keys = raw_keys(seed, start, count, npairs)
+    signs = (keys & np.uint64(1)).astype(np.int64)
+    signs <<= 1
+    signs -= 1
+    return signs
+
+
+def block_permutations(seed: int, start: int, count: int,
+                       blocks: np.ndarray) -> np.ndarray:
+    """Independent within-block shuffles of a ``(nblocks, k)`` label layout.
+
+    Each index's key row is split into ``nblocks`` groups of ``k`` keys and
+    every block's labels are reordered by its group's argsort; the rows are
+    returned flattened to width ``nblocks * k``.
+    """
+    nblocks, k = blocks.shape
+    keys = raw_keys(seed, start, count, nblocks * k)
+    sigma = np.argsort(keys.reshape(count, nblocks, k), axis=2)
+    tiled = np.broadcast_to(blocks, (count, nblocks, k))
+    return np.take_along_axis(tiled, sigma, axis=2).reshape(count, -1)

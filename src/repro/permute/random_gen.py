@@ -3,22 +3,28 @@
 ``mt.maxT`` exposes the sampling mode through ``fixed.seed.sampling``:
 
 ``"y"`` — *fixed-seed, on-the-fly*:
-    the permutation at index ``i`` is produced by an RNG seeded from
-    ``(seed, i)``, so any process can reproduce any permutation without
-    replaying the stream.  This is what makes the paper's O(1) generator
-    *forwarding* possible and is the default in both ``mt.maxT`` and
-    ``pmaxT``.
+    the permutation at index ``i`` is a pure function of ``(seed, i)``, so
+    any process can reproduce any permutation without replaying a stream.
+    This is what makes the paper's O(1) generator *forwarding* possible and
+    is the default in both ``mt.maxT`` and ``pmaxT``.  The randomness is
+    keyed by a counter-based bit generator (:mod:`repro.permute.keystream`):
+    index ``i`` owns a fixed block of the counter space, so a batch of
+    consecutive indices is generated with a handful of array operations and
+    is bit-identical to generating its rows one at a time.
 
 ``"n"`` — *sequential stream*:
     a single RNG stream produces permutations in order; forwarding a
     process's generator means drawing and discarding the permutations owned
     by lower ranks.  The serial implementation stores these permutations in
-    memory before computing (see :mod:`repro.permute.storage`).
+    memory before computing (see :mod:`repro.permute.storage`).  Batch
+    generation consumes the stream exactly as repeated single draws would,
+    so mixing ``take`` and ``take_batch`` cannot fork the sequence.
 
 Both modes enumerate **index 0 as the observed labelling** and draw no
 randomness for it, so for a fixed seed the sequence of permutations at
 indices ``1..B-1`` is identical no matter how the index range is partitioned
-across ranks — the property the paper's Figure 2 relies on.
+across ranks, how it is chunked into batches, or which rank generates it —
+the property the paper's Figure 2 relies on.
 
 Three concrete generators cover the statistic families:
 
@@ -32,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import PermutationError
+from . import keystream
 from .base import PermutationGenerator
 
 __all__ = [
@@ -45,13 +52,19 @@ __all__ = [
 #: default seed the multtest C implementation uses for reproducible runs.
 DEFAULT_SEED: int = 3455660
 
-def _rng_for(seed: int, index: int) -> np.random.Generator:
-    """Independent RNG for permutation ``index`` under the fixed-seed mode."""
-    return np.random.default_rng([np.uint64(seed), np.uint64(index)])
+#: Stream-mode forwarding consumes discarded draws in batches of this many
+#: permutations, bounding the scratch matrix a large ``skip`` materialises.
+_SKIP_BATCH: int = 1024
 
 
 class _RandomBase(PermutationGenerator):
-    """Shared draw/skip plumbing for the three random generators."""
+    """Shared draw/skip plumbing for the three random generators.
+
+    Subclasses provide four hooks: the observed encoding, a single draw
+    from a stream RNG, a batched draw from a stream RNG (must consume the
+    stream identically to repeated single draws), and a batched fixed-seed
+    draw for a run of consecutive indices.
+    """
 
     def __init__(self, nperm: int, width: int, seed: int, fixed_seed: bool):
         super().__init__(nperm, width)
@@ -60,12 +73,26 @@ class _RandomBase(PermutationGenerator):
         self.supports_random_access = self.fixed_seed
         self._stream = None if self.fixed_seed else np.random.default_rng(self.seed)
 
-    # Subclasses provide the observed encoding and a draw from an RNG.
+    # -- family hooks ---------------------------------------------------------
 
     def _observed(self) -> np.ndarray:
         raise NotImplementedError
 
     def _draw(self, rng: np.random.Generator) -> np.ndarray:
+        """One stream-mode resample (consumes the stream)."""
+        raise NotImplementedError
+
+    def _draw_stream_batch(self, rng: np.random.Generator,
+                           count: int) -> np.ndarray:
+        """``count`` stream-mode resamples in one vectorized call.
+
+        Must consume exactly the randomness of ``count`` :meth:`_draw`
+        calls and produce the same rows.
+        """
+        raise NotImplementedError
+
+    def _draw_indexed(self, start: int, count: int) -> np.ndarray:
+        """Fixed-seed resamples for indices ``[start, start + count)``."""
         raise NotImplementedError
 
     # -- generator plumbing ---------------------------------------------------
@@ -80,7 +107,7 @@ class _RandomBase(PermutationGenerator):
             return self._observed()
         if not self.fixed_seed:  # pragma: no cover - guarded by base class
             raise PermutationError("sequential stream has no random access")
-        return self._draw(_rng_for(self.seed, index))
+        return self._draw_indexed(index, 1)[0]
 
     def _next(self) -> np.ndarray:
         if self.fixed_seed:
@@ -89,14 +116,32 @@ class _RandomBase(PermutationGenerator):
             return self._observed()
         return self._draw(self._stream)
 
+    def _fill_batch(self, out: np.ndarray, count: int) -> np.ndarray:
+        pos = self._position
+        filled = 0
+        if pos == 0:
+            out[0] = self._observed()
+            filled = 1
+        if count > filled:
+            if self.fixed_seed:
+                out[filled:count] = self._draw_indexed(pos + filled,
+                                                       count - filled)
+            else:
+                out[filled:count] = self._draw_stream_batch(self._stream,
+                                                            count - filled)
+        return out
+
     def _do_skip(self, count: int) -> None:
         if self.fixed_seed:
             return
         # Index 0 consumes no randomness; every other skipped index is a
-        # discarded draw — the literal "forward the generator" of the paper.
+        # discarded draw — the literal "forward the generator" of the paper,
+        # consumed in vectorized batches.
         draws = count - 1 if self._position == 0 else count
-        for _ in range(max(draws, 0)):
-            self._draw(self._stream)
+        while draws > 0:
+            step = min(draws, _SKIP_BATCH)
+            self._draw_stream_batch(self._stream, step)
+            draws -= step
 
 
 class RandomLabelShuffle(_RandomBase):
@@ -123,6 +168,16 @@ class RandomLabelShuffle(_RandomBase):
     def _draw(self, rng: np.random.Generator) -> np.ndarray:
         return rng.permutation(self._labels)
 
+    def _draw_stream_batch(self, rng: np.random.Generator,
+                           count: int) -> np.ndarray:
+        # Row-wise in-place shuffles of a tiled label matrix consume the
+        # stream exactly like `count` successive rng.permutation calls.
+        return rng.permuted(np.tile(self._labels, (count, 1)), axis=1)
+
+    def _draw_indexed(self, start: int, count: int) -> np.ndarray:
+        return keystream.label_permutations(self.seed, start, count,
+                                            self._labels)
+
 
 class RandomSigns(_RandomBase):
     """Uniformly random pair-swap signs for the paired-t test.
@@ -140,6 +195,16 @@ class RandomSigns(_RandomBase):
 
     def _draw(self, rng: np.random.Generator) -> np.ndarray:
         return rng.integers(0, 2, size=self.width, dtype=np.int64) * 2 - 1
+
+    def _draw_stream_batch(self, rng: np.random.Generator,
+                           count: int) -> np.ndarray:
+        # A (count, width) fill consumes the bounded-integer stream in the
+        # same row-major order as `count` width-long draws.
+        draws = rng.integers(0, 2, size=(count, self.width), dtype=np.int64)
+        return draws * 2 - 1
+
+    def _draw_indexed(self, start: int, count: int) -> np.ndarray:
+        return keystream.sign_vectors(self.seed, start, count, self.width)
 
 
 class RandomBlockShuffle(_RandomBase):
@@ -169,7 +234,17 @@ class RandomBlockShuffle(_RandomBase):
         return self._blocks.reshape(-1).copy()
 
     def _draw(self, rng: np.random.Generator) -> np.ndarray:
-        out = np.empty((self.nblocks, self.k), dtype=np.int64)
-        for b in range(self.nblocks):
-            out[b] = self._blocks[b][rng.permutation(self.k)]
-        return out.reshape(-1)
+        # One row-wise shuffle pass over the block layout replaces the old
+        # per-block Python loop; the swap sequence (and therefore the
+        # stream consumption) is identical to shuffling each block in turn.
+        return rng.permuted(self._blocks, axis=1).reshape(-1)
+
+    def _draw_stream_batch(self, rng: np.random.Generator,
+                           count: int) -> np.ndarray:
+        tiled = np.tile(self._blocks.reshape(1, self.nblocks, self.k),
+                        (count, 1, 1)).reshape(count * self.nblocks, self.k)
+        return rng.permuted(tiled, axis=1).reshape(count, -1)
+
+    def _draw_indexed(self, start: int, count: int) -> np.ndarray:
+        return keystream.block_permutations(self.seed, start, count,
+                                            self._blocks)

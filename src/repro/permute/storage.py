@@ -99,8 +99,11 @@ class StoredPermutations(PermutationGenerator):
     def _encode(self, index: int) -> np.ndarray:
         return self._matrix[index]
 
-    def take_batch(self, count: int) -> np.ndarray:
-        # Serve batches as zero-copy views of the stored matrix.
+    def take_batch(self, count: int,
+                   out: np.ndarray | None = None) -> np.ndarray:
+        # Serve batches as zero-copy views of the stored matrix; a caller's
+        # ``out`` buffer is deliberately ignored (copying into it would
+        # defeat the point of having materialised the rows).
         if count < 0 or self._position + count > self.nperm:
             raise PermutationError(
                 f"take_batch({count}) from position {self._position} passes "

@@ -4,7 +4,7 @@ Every statistic is an object bound to one dataset.  Construction performs
 the per-dataset work once (NA conversion, masking, optional rank transform,
 design validation); evaluation then happens through a single entry point:
 
-``batch(encodings) -> (m, nb) float64``
+``batch(encodings, work=None) -> (m, nb) float``
     compute the statistic for all ``m`` rows under each of the ``nb``
     permutation encodings.  The encodings come straight from a
     :class:`~repro.permute.base.PermutationGenerator` — label vectors for
@@ -21,6 +21,21 @@ dense GEMMs ``(m x n) @ (n x nb)`` over a whole batch of permutations, so the
 per-permutation cost is dominated by BLAS.  Degenerate rows (too few valid
 samples, zero variance) produce NaN, which the maxT engine treats as "never
 significant" — matching multtest's NA propagation.
+
+Allocation discipline: at kernel scale the elementwise temporaries — a
+dozen ``(m, nb)`` matrices per batch — cost more than the GEMMs themselves
+(every one is an mmap + page-fault round at typical sizes).  ``batch``
+therefore accepts a :class:`WorkBuffers` pool; when given, every GEMM runs
+with ``out=`` and every elementwise step reuses a named pooled buffer, so
+after the first batch warms the pool the hot loop allocates nothing
+``(m, nb)``-sized.  The arithmetic (operations and their order) is
+identical with and without the pool, so pooled and unpooled runs produce
+bit-identical statistics.
+
+Compute dtype: statistics default to float64; ``dtype="float32"`` is an
+opt-in mode that halves memory traffic and roughly doubles BLAS throughput
+at ~1e-5 relative accuracy (the maxT counting compensates with a wider tie
+tolerance — see :mod:`repro.core.kernel`).
 """
 
 from __future__ import annotations
@@ -29,10 +44,69 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import DataError, OptionError
 from .na import MT_NA_NUM, row_ranks, to_nan, valid_mask
 
-__all__ = ["TestStatistic", "TwoSampleMoments"]
+__all__ = ["TestStatistic", "TwoSampleMoments", "WorkBuffers",
+           "COMPUTE_DTYPES", "class_member_counts"]
+
+#: The supported compute dtypes for the statistic kernels.
+COMPUTE_DTYPES: tuple[str, ...] = ("float64", "float32")
+
+
+def class_member_counts(V: np.ndarray | None, G: np.ndarray,
+                        work: "WorkBuffers", key: str) -> np.ndarray:
+    """Per-encoding member counts for a 0/1 class-indicator block ``G``.
+
+    With a validity mask ``V`` the counts are the GEMM ``V @ G`` — an
+    ``(m, nb)`` matrix.  Pass ``V=None`` for fully-valid data: every mask
+    row is all ones, so the counts collapse to the column sums of ``G``,
+    one broadcastable ``(1, nb)`` row.  Both forms sum the same exact
+    small integers in float, so the shortcut is bit-transparent while
+    removing a whole GEMM from the batch.
+    """
+    dtype = G.dtype
+    if V is None:
+        out = work.take(key, (1, G.shape[1]), dtype)
+        np.sum(G, axis=0, dtype=dtype, out=out[0])
+        return out
+    return np.matmul(V, G, out=work.take(key, (V.shape[0], G.shape[1]),
+                                         dtype))
+
+
+class WorkBuffers:
+    """A pool of named, lazily grown scratch arrays.
+
+    ``take(key, shape, dtype)`` returns a buffer of exactly ``shape``:
+    the first request allocates it, later requests reuse the allocation
+    (returning a leading-slice view when a smaller shape — e.g. the tail
+    batch of a permutation chunk — is asked for).  Nothing is zeroed:
+    callers own the full contents of what they take.
+    """
+
+    def __init__(self):
+        self._bufs: dict[str, np.ndarray] = {}
+
+    def take(self, key: str, shape: tuple[int, ...],
+             dtype=np.float64) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        buf = self._bufs.get(key)
+        if (buf is None or buf.dtype != dtype or buf.ndim != len(shape)
+                or any(b < s for b, s in zip(buf.shape, shape))):
+            grow = shape
+            if buf is not None and buf.dtype == dtype \
+                    and buf.ndim == len(shape):
+                grow = tuple(max(b, s) for b, s in zip(buf.shape, shape))
+            buf = np.empty(grow, dtype=dtype)
+            self._bufs[key] = buf
+        if buf.shape == shape:
+            return buf
+        return buf[tuple(slice(0, s) for s in shape)]
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._bufs.values())
 
 
 class TestStatistic(ABC):
@@ -51,6 +125,9 @@ class TestStatistic(ABC):
         ``"y"`` applies a row-wise average-rank transform to the data before
         any statistic is computed (the R interface's non-parametric option);
         ``"n"`` leaves the data as is.
+    dtype:
+        Compute dtype for the batch kernels: ``"float64"`` (default) or
+        ``"float32"`` (opt-in fast mode; see the module docstring).
     """
 
     #: R-interface name of the statistic (``test=`` value).
@@ -59,9 +136,13 @@ class TestStatistic(ABC):
     family: str = "label"
 
     def __init__(self, X, classlabel, *, na: float | None = MT_NA_NUM,
-                 nonpara: str = "n"):
+                 nonpara: str = "n", dtype: str = "float64"):
         if nonpara not in ("y", "n"):
             raise DataError(f"nonpara must be 'y' or 'n', got {nonpara!r}")
+        if str(dtype) not in COMPUTE_DTYPES:
+            raise OptionError(
+                f"dtype must be one of {COMPUTE_DTYPES}, got {dtype!r}")
+        self.compute_dtype = np.dtype(str(dtype))
         X = to_nan(X, na)
         labels = np.asarray(classlabel, dtype=np.int64)
         if labels.ndim != 1 or labels.size != X.shape[1]:
@@ -75,6 +156,7 @@ class TestStatistic(ABC):
             nonpara = "n"
         if nonpara == "y":
             X = np.where(valid_mask(X), row_ranks(X), np.nan)
+        X = X.astype(self.compute_dtype, copy=False)
         self.m, self.n = X.shape
         self.nonpara = nonpara
         self.observed_labels = labels.copy()
@@ -101,12 +183,42 @@ class TestStatistic(ABC):
         """Cache the per-dataset arrays the batch kernel needs."""
 
     @abstractmethod
-    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
-        """Compute the ``(m, nb)`` statistics for validated encodings."""
+    def _compute_batch(self, encodings: np.ndarray,
+                       work: WorkBuffers) -> np.ndarray:
+        """Compute the ``(m, nb)`` statistics for validated encodings.
+
+        Every ``(m, nb)``- or ``(n, nb)``-sized intermediate must route
+        through the ``work`` pool (``out=`` GEMMs, in-place elementwise
+        steps); the returned matrix may itself be a pooled buffer, valid
+        until the next call with the same pool.  There is deliberately no
+        separate allocating implementation: callers without a pool get a
+        fresh throwaway one from :meth:`batch`, so the floating-point
+        operation sequence — and therefore the results, bit for bit — is
+        the same either way.
+        """
+
+    # -- shared batch helpers --------------------------------------------------
+
+    def _gemm_operand(self, encodings: np.ndarray,
+                      work: WorkBuffers) -> np.ndarray:
+        """The ``(width, nb)`` float right-hand side for the batch GEMMs."""
+        G = work.take("G", (encodings.shape[1], encodings.shape[0]),
+                      self.compute_dtype)
+        np.copyto(G, encodings.T, casting="unsafe")
+        return G
+
+    def _class_indicator(self, encodings: np.ndarray, j: int,
+                         work: WorkBuffers) -> np.ndarray:
+        """The ``(width, nb)`` float indicator of class-``j`` membership."""
+        n, nb = encodings.shape[1], encodings.shape[0]
+        eq = np.equal(encodings.T, j, out=work.take("eqT", (n, nb), bool))
+        Gj = work.take("G", (n, nb), self.compute_dtype)
+        np.copyto(Gj, eq, casting="unsafe")
+        return Gj
 
     # -- public evaluation -----------------------------------------------------
 
-    def batch(self, encodings) -> np.ndarray:
+    def batch(self, encodings, work: WorkBuffers | None = None) -> np.ndarray:
         """Statistics for a batch of permutation encodings.
 
         Parameters
@@ -114,11 +226,16 @@ class TestStatistic(ABC):
         encodings:
             ``(nb, width)`` integer matrix (or a single ``(width,)`` vector,
             treated as a batch of one).
+        work:
+            Optional :class:`WorkBuffers` pool; when given, the returned
+            matrix is a pooled buffer that stays valid only until the next
+            ``batch`` call with the same pool.
 
         Returns
         -------
         numpy.ndarray
-            ``(m, nb)`` float64 matrix; NaN marks undefined statistics.
+            ``(m, nb)`` matrix in the compute dtype; NaN marks undefined
+            statistics.
         """
         enc = np.asarray(encodings, dtype=np.int64)
         if enc.ndim == 1:
@@ -128,9 +245,14 @@ class TestStatistic(ABC):
                 f"encodings must be (nb, {self.width}), got {enc.shape}"
             )
         if enc.shape[0] == 0:
-            return np.empty((self.m, 0), dtype=np.float64)
+            return np.empty((self.m, 0), dtype=self.compute_dtype)
+        if work is None:
+            # One implementation, two calling styles: a throwaway pool
+            # makes the pool-less call allocate about what the pre-pool
+            # code did while keeping a single arithmetic path.
+            work = WorkBuffers()
         with np.errstate(invalid="ignore", divide="ignore"):
-            out = self._compute_batch(enc)
+            out = self._compute_batch(enc, work)
         return out
 
     def observed(self) -> np.ndarray:
@@ -156,31 +278,60 @@ class TwoSampleMoments:
 
     def __init__(self, X: np.ndarray):
         V = valid_mask(X)
-        Xz = np.where(V, X, 0.0)
-        self.V = V.astype(np.float64)
+        Xz = np.where(V, X, X.dtype.type(0))
+        self.V = V.astype(X.dtype)
         self.Xz = Xz
         self.Xz2 = Xz * Xz
+        #: With no missing cells every row of ``V`` is all ones, so the
+        #: class-1 count GEMM ``V @ G`` degenerates to the column sums of
+        #: ``G`` — one ``(1, nb)`` row instead of an ``(m, nb)`` GEMM.
+        #: The values are identical (exact small integers in float), so the
+        #: shortcut is bit-transparent; it removes one of the three batch
+        #: GEMMs on clean data, the common case.  ``count_mask`` is what
+        #: :func:`class_member_counts` consumes: the mask when it matters,
+        #: ``None`` when the column-sum shortcut applies.
+        self.all_valid = bool(V.all())
+        self.count_mask = None if self.all_valid else self.V
         # Row totals over all valid cells (class-0 moments follow by
         # subtraction, saving three GEMMs per batch).
-        self.n_valid = self.V.sum(axis=1)
-        self.sum_all = self.Xz.sum(axis=1)
-        self.sumsq_all = self.Xz2.sum(axis=1)
+        self.n_valid = self.V.sum(axis=1, dtype=X.dtype)
+        self.sum_all = self.Xz.sum(axis=1, dtype=X.dtype)
+        self.sumsq_all = self.Xz2.sum(axis=1, dtype=X.dtype)
 
-    def class1(self, encodings: np.ndarray):
+    def class1(self, encodings: np.ndarray, work: WorkBuffers):
         """Counts/sums/sums-of-squares of class 1 for each encoding.
 
-        Returns ``(N1, S1, Q1)``, each ``(m, nb)``.
+        Returns ``(N1, S1, Q1)`` in pooled buffers: the sums are
+        ``(m, nb)``; the count is ``(m, nb)`` in general but collapses to
+        a broadcastable ``(1, nb)`` row on fully-valid data (see
+        ``all_valid``).
         """
-        G = encodings.T.astype(np.float64)  # (n, nb), entries in {0, 1}
-        N1 = self.V @ G
-        S1 = self.Xz @ G
-        Q1 = self.Xz2 @ G
+        dtype = self.Xz.dtype
+        nb = encodings.shape[0]
+        m = self.Xz.shape[0]
+        G = work.take("G", (encodings.shape[1], nb), dtype)
+        np.copyto(G, encodings.T, casting="unsafe")
+        N1 = class_member_counts(self.count_mask, G, work, "N1")
+        S1 = np.matmul(self.Xz, G, out=work.take("S1", (m, nb), dtype))
+        Q1 = np.matmul(self.Xz2, G, out=work.take("Q1", (m, nb), dtype))
         return N1, S1, Q1
 
-    def split(self, encodings: np.ndarray):
-        """Both classes' moments: ``(N1, S1, Q1, N0, S0, Q0)``."""
-        N1, S1, Q1 = self.class1(encodings)
-        N0 = self.n_valid[:, None] - N1
-        S0 = self.sum_all[:, None] - S1
-        Q0 = self.sumsq_all[:, None] - Q1
+    def split(self, encodings: np.ndarray, work: WorkBuffers):
+        """Both classes' moments: ``(N1, S1, Q1, N0, S0, Q0)``.
+
+        ``N0``/``N1`` may be ``(1, nb)`` rows on fully-valid data; they
+        broadcast transparently through the statistic arithmetic.
+        """
+        N1, S1, Q1 = self.class1(encodings, work)
+        # On fully-valid data every n_valid entry is exactly n, so the
+        # (1, nb) subtraction yields the same values the (m, nb) one would.
+        counts_total = self.Xz.dtype.type(self.Xz.shape[1]) \
+            if self.all_valid else self.n_valid[:, None]
+        dtype = self.Xz.dtype
+        N0 = np.subtract(counts_total, N1,
+                         out=work.take("N0", N1.shape, dtype))
+        S0 = np.subtract(self.sum_all[:, None], S1,
+                         out=work.take("S0", S1.shape, dtype))
+        Q0 = np.subtract(self.sumsq_all[:, None], Q1,
+                         out=work.take("Q0", Q1.shape, dtype))
         return N1, S1, Q1, N0, S0, Q0

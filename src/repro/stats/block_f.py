@@ -64,9 +64,10 @@ class BlockF(TestStatistic):
         block_ok = ~np.isnan(cells).any(axis=2)  # (m, nblocks)
         # Expand block validity back to columns for the GEMM mask.
         col_ok = np.repeat(block_ok, self.k, axis=1)  # (m, n)
-        self._V = col_ok.astype(np.float64)
-        self._Xz = np.where(col_ok, np.nan_to_num(X, nan=0.0), 0.0)
-        self._bv = block_ok.sum(axis=1).astype(np.float64)  # valid blocks/row
+        self._V = col_ok.astype(X.dtype)
+        self._Xz = np.where(col_ok, np.nan_to_num(X, nan=0.0),
+                            X.dtype.type(0))
+        self._bv = block_ok.sum(axis=1).astype(X.dtype)  # valid blocks/row
 
         # Permutation-invariant pieces.
         nv = self._bv * self.k  # valid cells per row
@@ -81,24 +82,36 @@ class BlockF(TestStatistic):
         self._grand = grand
         self._nv = nv
 
-    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
+    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
         m = self.m
         nb = encodings.shape[0]
+        dt = self._Xz.dtype
         bv = self._bv[:, None]
-        treat_raw = np.zeros((m, nb), dtype=np.float64)
+        treat_raw = work.take("treat", (m, nb), dt)
+        treat_raw.fill(0)
         for j in range(self.k):
-            Gj = (encodings == j).T.astype(np.float64)  # (n, nb)
-            Sj = self._Xz @ Gj  # treatment-j sum per row per permutation
-            treat_raw += Sj * Sj
+            Gj = self._class_indicator(encodings, j, work)
+            # treatment-j sum per row per permutation
+            Sj = np.matmul(self._Xz, Gj, out=work.take("Sj", (m, nb), dt))
+            np.multiply(Sj, Sj, out=Sj)
+            treat_raw += Sj
         grand = self._grand[:, None]
         nv = self._nv[:, None]
-        ss_treat = treat_raw / bv - grand * grand / nv
+        gg = grand * grand / nv                    # (m, 1): batch-invariant
+        np.divide(treat_raw, bv, out=treat_raw)
+        ss_treat = np.subtract(treat_raw, gg, out=treat_raw)
         np.maximum(ss_treat, 0.0, out=ss_treat)
-        ss_resid = self._ss_total[:, None] - self._ss_block[:, None] - ss_treat
+        resid_base = self._ss_total[:, None] - self._ss_block[:, None]
+        ss_resid = np.subtract(resid_base, ss_treat,
+                               out=work.take("resid", (m, nb), dt))
         np.maximum(ss_resid, 0.0, out=ss_resid)
         dof_t = self.k - 1.0
         dof_r = (bv - 1.0) * (self.k - 1.0)
-        F = (ss_treat / dof_t) / (ss_resid / dof_r)
-        bad = (bv < 2) | (ss_resid == 0.0)
-        F = np.where(bad, np.nan, F)
+        # Capture the degenerate mask before ss_resid is divided in place.
+        bad = np.equal(ss_resid, 0.0, out=work.take("bad", (m, nb), bool))
+        np.logical_or(bad, bv < 2, out=bad)
+        np.divide(ss_treat, dof_t, out=ss_treat)
+        np.divide(ss_resid, dof_r, out=ss_resid)
+        F = np.divide(ss_treat, ss_resid, out=ss_treat)
+        F[bad] = np.nan
         return F

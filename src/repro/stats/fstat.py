@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DataError
-from .base import TestStatistic
+from .base import TestStatistic, class_member_counts
 from .na import valid_mask
 
 __all__ = ["FStat"]
@@ -41,39 +41,57 @@ class FStat(TestStatistic):
 
     def _prepare(self, X: np.ndarray, labels: np.ndarray) -> None:
         V = valid_mask(X)
-        self._V = V.astype(np.float64)
-        self._Xz = np.where(V, X, 0.0)
+        self._V = V.astype(X.dtype)
+        # Clean data: per-class count GEMMs degenerate to encoding column
+        # sums (class_member_counts with a None mask), halving the
+        # per-batch GEMM count.
+        self._count_mask = None if V.all() else self._V
+        self._Xz = np.where(V, X, X.dtype.type(0))
         self._Xz2 = self._Xz * self._Xz
-        self._n_valid = self._V.sum(axis=1)
-        self._sum_all = self._Xz.sum(axis=1)
-        self._sumsq_all = self._Xz2.sum(axis=1)
+        self._n_valid = self._V.sum(axis=1, dtype=X.dtype)
+        self._sum_all = self._Xz.sum(axis=1, dtype=X.dtype)
+        self._sumsq_all = self._Xz2.sum(axis=1, dtype=X.dtype)
 
-    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
+    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
         m = self.m
         nb = encodings.shape[0]
+        dt = self._V.dtype
         nv = self._n_valid[:, None]
         grand_sum = self._sum_all[:, None]
         # Accumulate sum_j S_j^2 / n_j and detect empty classes.
-        between_raw = np.zeros((m, nb), dtype=np.float64)
-        broken = np.zeros((m, nb), dtype=bool)
+        between_raw = work.take("between", (m, nb), dt)
+        between_raw.fill(0)
+        broken = work.take("broken", (m, nb), bool)
+        broken.fill(False)
         for j in range(self.k):
-            Gj = (encodings == j).T.astype(np.float64)  # (n, nb)
-            Nj = self._V @ Gj
-            Sj = self._Xz @ Gj
-            empty = Nj == 0.0
-            broken |= empty
+            Gj = self._class_indicator(encodings, j, work)
+            Nj = class_member_counts(self._count_mask, Gj, work, "Nj")
+            Sj = np.matmul(self._Xz, Gj, out=work.take("Sj", (m, nb), dt))
+            empty = np.equal(Nj, 0.0, out=work.take("empty", Nj.shape, bool))
+            np.logical_or(broken, empty, out=broken)
             with np.errstate(invalid="ignore", divide="ignore"):
-                contrib = Sj * Sj / Nj
-            contrib[empty] = 0.0
+                np.multiply(Sj, Sj, out=Sj)
+                contrib = np.divide(Sj, Nj, out=Sj)
+            if empty.shape == contrib.shape:
+                contrib[empty] = 0.0
+            else:                           # (1, nb) count row: mask columns
+                contrib[:, empty[0]] = 0.0
             between_raw += contrib
-        ss_between = between_raw - grand_sum * grand_sum / nv
-        ss_total = self._sumsq_all[:, None] - grand_sum * grand_sum / nv
-        ss_within = ss_total - ss_between
+        gg = grand_sum * grand_sum / nv          # (m, 1): batch-invariant
+        ss_between = np.subtract(between_raw, gg, out=between_raw)
+        ss_total = self._sumsq_all[:, None] - gg  # (m, 1)
+        ss_within = np.subtract(ss_total, ss_between,
+                                out=work.take("within", (m, nb), dt))
         np.maximum(ss_within, 0.0, out=ss_within)
         np.maximum(ss_between, 0.0, out=ss_between)
         dof_b = self.k - 1.0
         dof_w = nv - self.k
-        F = (ss_between / dof_b) / (ss_within / dof_w)
-        bad = broken | (dof_w < 1.0) | (ss_within == 0.0)
-        F = np.where(bad, np.nan, F)
+        # Capture the zero-variance mask before ss_within is divided away.
+        zero = np.equal(ss_within, 0.0, out=work.take("empty", (m, nb), bool))
+        np.logical_or(broken, dof_w < 1.0, out=broken)
+        np.logical_or(broken, zero, out=broken)
+        np.divide(ss_between, dof_b, out=ss_between)
+        np.divide(ss_within, dof_w, out=ss_within)
+        F = np.divide(ss_between, ss_within, out=ss_between)
+        F[broken] = np.nan
         return F

@@ -55,25 +55,30 @@ class PairedT(TestStatistic):
         col0 = np.where(one_is_second, cols[:, 0], cols[:, 1])
         D = X[:, col1] - X[:, col0]  # NaN when either member is missing
         Vp = valid_mask(D)
-        self._Vp = Vp.astype(np.float64)
-        self._Dz = np.where(Vp, D, 0.0)
-        self._np_valid = self._Vp.sum(axis=1)
-        self._sumsq = (self._Dz * self._Dz).sum(axis=1)
+        self._Vp = Vp.astype(X.dtype)
+        self._Dz = np.where(Vp, D, X.dtype.type(0))
+        self._np_valid = self._Vp.sum(axis=1, dtype=X.dtype)
+        self._sumsq = (self._Dz * self._Dz).sum(axis=1, dtype=X.dtype)
 
     def observed_encoding(self) -> np.ndarray:
         return np.ones(self.npairs, dtype=np.int64)
 
-    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
+    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
         if not np.isin(encodings, (-1, 1)).all():
             raise DataError("pairt encodings must be +/-1 sign vectors")
-        Z = encodings.T.astype(np.float64)  # (npairs, nb)
-        S = self._Dz @ Z  # (m, nb); sum of signed differences
         npv = self._np_valid[:, None]
-        mean = S / npv
-        var = (self._sumsq[:, None] - S * mean) / (npv - 1.0)
+        Z = self._gemm_operand(encodings, work)
+        m, nb, dt = self._Dz.shape[0], encodings.shape[0], self._Dz.dtype
+        S = np.matmul(self._Dz, Z, out=work.take("S", (m, nb), dt))
+        mean = np.divide(S, npv, out=work.take("mean", (m, nb), dt))
+        np.multiply(S, mean, out=S)
+        np.subtract(self._sumsq[:, None], S, out=S)
+        var = np.divide(S, npv - 1.0, out=S)
         np.maximum(var, 0.0, out=var)
-        se = np.sqrt(var / npv)
-        t = mean / se
-        bad = (npv < 2) | (se == 0.0)
-        t = np.where(bad, np.nan, t)
+        np.divide(var, npv, out=var)
+        se = np.sqrt(var, out=var)
+        t = np.divide(mean, se, out=mean)
+        bad = np.equal(se, 0.0, out=work.take("bad", (m, nb), bool))
+        np.logical_or(bad, npv < 2, out=bad)
+        t[bad] = np.nan
         return t

@@ -37,8 +37,11 @@ def available_tests() -> tuple[str, ...]:
 
 
 def make_statistic(test: str, X, classlabel, *, na: float | None = MT_NA_NUM,
-                   nonpara: str = "n") -> TestStatistic:
+                   nonpara: str = "n", dtype: str = "float64") -> TestStatistic:
     """Instantiate the statistic named ``test``, bound to the dataset.
+
+    ``dtype`` selects the compute precision of the batch kernels
+    (``"float64"`` default, ``"float32"`` opt-in fast mode).
 
     Raises
     ------
@@ -54,4 +57,4 @@ def make_statistic(test: str, X, classlabel, *, na: float | None = MT_NA_NUM,
         raise OptionError(
             f"unknown test {test!r}; available: {', '.join(available_tests())}"
         ) from None
-    return cls(X, classlabel, na=na, nonpara=nonpara)
+    return cls(X, classlabel, na=na, nonpara=nonpara, dtype=dtype)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DataError
-from .base import TestStatistic
+from .base import TestStatistic, class_member_counts
 from .na import row_ranks, valid_mask
 
 __all__ = ["Wilcoxon"]
@@ -41,19 +41,42 @@ class Wilcoxon(TestStatistic):
 
     def _prepare(self, X: np.ndarray, labels: np.ndarray) -> None:
         V = valid_mask(X)
-        self._V = V.astype(np.float64)
-        self._R = row_ranks(X)  # 0 at missing cells -> inert in the GEMM
-        self._n_valid = self._V.sum(axis=1)
+        self._V = V.astype(X.dtype)
+        # With no missing cells the count GEMM degenerates to column sums
+        # of the encoding block (class_member_counts with a None mask),
+        # halving the per-batch GEMM work; see TwoSampleMoments.all_valid.
+        self._all_valid = bool(V.all())
+        self._count_mask = None if self._all_valid else self._V
+        # 0 at missing cells -> inert in the GEMM
+        self._R = row_ranks(X).astype(X.dtype, copy=False)
+        self._n_valid = self._V.sum(axis=1, dtype=X.dtype)
 
-    def _compute_batch(self, encodings: np.ndarray) -> np.ndarray:
-        G = encodings.T.astype(np.float64)  # (n, nb)
-        N1 = self._V @ G
-        W = self._R @ G
+    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
+        # z = (W - N1 (nv+1)/2) / sqrt(N0 N1 (nv+1)/12) through pooled
+        # buffers; N1/N0 collapse to (1, nb) rows on fully-valid data.
         nv = self._n_valid[:, None]
-        N0 = nv - N1
-        expected = N1 * (nv + 1.0) / 2.0
-        sd = np.sqrt(N0 * N1 * (nv + 1.0) / 12.0)
-        z = (W - expected) / sd
-        bad = (N1 < 1) | (N0 < 1) | (sd == 0.0)
+        dt = self._V.dtype
+        G = self._gemm_operand(encodings, work)
+        m, nb = self._V.shape[0], encodings.shape[0]
+        N1 = class_member_counts(self._count_mask, G, work, "N1")
+        # On fully-valid data every n_valid entry is exactly n, so the
+        # (1, nb) subtraction yields the same values the (m, nb) one would.
+        valid_total = dt.type(self.n) if self._all_valid else nv
+        N0 = np.subtract(valid_total, N1, out=work.take("N0", N1.shape, dt))
+        W = np.matmul(self._R, G, out=work.take("W", (m, nb), dt))
+        nvp = nv + 1.0  # (m, 1): permutation-invariant, negligible
+        expected = np.multiply(N1, nvp, out=work.take("E", (m, nb), dt))
+        np.divide(expected, 2.0, out=expected)
+        prod = np.multiply(N0, N1, out=work.take("NN", N1.shape, dt))
+        sd = np.multiply(prod, nvp, out=work.take("SD", (m, nb), dt))
+        np.divide(sd, 12.0, out=sd)
+        np.sqrt(sd, out=sd)
+        np.subtract(W, expected, out=W)
+        z = np.divide(W, sd, out=W)
+        b1 = np.less(N1, 1, out=work.take("bad1", N1.shape, bool))
+        b2 = np.less(N0, 1, out=work.take("bad2", N0.shape, bool))
+        np.logical_or(b1, b2, out=b1)
+        b3 = np.equal(sd, 0.0, out=work.take("bad3", (m, nb), bool))
+        bad = np.logical_or(b3, b1, out=b3)
         z[bad] = np.nan
         return z
