@@ -148,6 +148,7 @@ def main(argv=None) -> int:
 
     out = Path(args.out) if args.out else \
         Path(__file__).resolve().parent.parent / RESULT_FILE
+    out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(result, indent=2) + "\n")
 
     print(f"matrix {result['matrix'][0]}x{result['matrix'][1]} float64 "

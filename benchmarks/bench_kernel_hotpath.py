@@ -351,6 +351,7 @@ def main(argv=None) -> int:
 
     out = Path(args.out) if args.out else \
         Path(__file__).resolve().parent.parent / RESULT_FILE
+    out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(result, indent=2) + "\n")
 
     print(f"matrix {args.genes}x{args.samples}, B_perm={args.b_perm}, "

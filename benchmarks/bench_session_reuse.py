@@ -1,0 +1,161 @@
+"""Measured benchmark: cold one-shot pmaxT vs warm session dispatch.
+
+The tentpole claim of the session layer is that a long-lived
+:class:`~repro.mpi.session.WorkerPoolSession` removes the per-call world
+cost a one-shot ``pmaxT(backend=..., ranks=...)`` launch pays every time:
+``ranks`` process spawns, queue construction, teardown joins, and a cold
+:class:`~repro.core.kernel.KernelWorkspace` on every rank.  This benchmark
+times the same pmaxT problem both ways — cold (a fresh world per call) and
+warm (one session, repeated calls) — and writes the comparison to
+``BENCH_session.json``.
+
+Run standalone (writes the JSON next to the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_session_reuse.py
+    PYTHONPATH=src python benchmarks/bench_session_reuse.py \\
+        --genes 4000 --samples 200 --ranks 8 --b 5000
+
+or through pytest (acceptance shape, asserts the warm win)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_session_reuse.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import pmaxT
+from repro.data import synthetic_expression, two_class_labels
+from repro.mpi import open_session
+
+# The acceptance shape: 2000x100, 4 ranks.  B is kept moderate so the
+# per-call world cost (what the session removes) is a visible fraction of
+# the total; heavier B only shrinks the *relative* gap, never the absolute
+# per-call saving.
+DEFAULT_GENES = 2_000
+DEFAULT_SAMPLES = 100
+DEFAULT_RANKS = 4
+DEFAULT_B = 1_000
+DEFAULT_REPEATS = 3
+DEFAULT_BACKEND = "shm"
+RESULT_FILE = "BENCH_session.json"
+
+
+def measure(
+    n_genes=DEFAULT_GENES,
+    n_samples=DEFAULT_SAMPLES,
+    ranks=DEFAULT_RANKS,
+    B=DEFAULT_B,
+    repeats=DEFAULT_REPEATS,
+    backend=DEFAULT_BACKEND,
+    seed=5,
+) -> dict:
+    """Time cold (fresh world per call) vs warm (session) pmaxT calls."""
+    X, _ = synthetic_expression(
+        n_genes, n_samples, n_class1=n_samples // 2, de_fraction=0.1, seed=seed
+    )
+    labels = two_class_labels(n_samples // 2, n_samples - n_samples // 2)
+    kwargs = dict(test="t", B=B, seed=29)
+
+    # Cold: every call stands a world up and tears it down (the
+    # pre-session path, bit-identical results).
+    cold_times = []
+    cold = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        cold = pmaxT(X, labels, backend=backend, ranks=ranks, **kwargs)
+        cold_times.append(time.perf_counter() - start)
+
+    # Warm: one resident pool serves every call.  The first (untimed)
+    # call pays the spawn; the timed calls dispatch over warm workers and
+    # resident kernel workspaces.
+    warm_times = []
+    with open_session(backend, ranks) as session:
+        warm = pmaxT(X, labels, session=session, **kwargs)  # spawn + warm-up
+        for _ in range(repeats):
+            start = time.perf_counter()
+            warm = pmaxT(X, labels, session=session, **kwargs)
+            warm_times.append(time.perf_counter() - start)
+        spawns = session.spawns
+        resident_workers = len(session.worker_pids())
+
+    np.testing.assert_array_equal(cold.adjp, warm.adjp)  # same answer
+
+    cold_best, warm_best = min(cold_times), min(warm_times)
+    return {
+        "benchmark": "session_reuse",
+        "matrix": [n_genes, n_samples],
+        "B": B,
+        "ranks": ranks,
+        "backend": backend,
+        "repeats": repeats,
+        "cold_call_s": cold_best,
+        "warm_call_s": warm_best,
+        "warm_speedup": cold_best / warm_best,
+        "saved_per_call_s": cold_best - warm_best,
+        "pool_spawns": spawns,
+        "resident_workers": resident_workers,
+    }
+
+
+def test_warm_call_beats_cold_at_acceptance_shape():
+    """ISSUE acceptance: warm < cold at 2000x100, 4 ranks."""
+    result = measure(n_genes=2_000, n_samples=100, ranks=4, B=600, repeats=3)
+    assert result["pool_spawns"] == 1
+    assert result["warm_speedup"] > 1.0, (
+        f"warm session call ({result['warm_call_s']:.4f}s) should beat the "
+        f"cold one-shot call ({result['cold_call_s']:.4f}s)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time cold one-shot vs warm session pmaxT calls."
+    )
+    parser.add_argument("--genes", type=int, default=DEFAULT_GENES)
+    parser.add_argument("--samples", type=int, default=DEFAULT_SAMPLES)
+    parser.add_argument("--ranks", type=int, default=DEFAULT_RANKS)
+    parser.add_argument("--b", type=int, default=DEFAULT_B, dest="B")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--backend", default=DEFAULT_BACKEND)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=f"output JSON path (default: {RESULT_FILE} in the repository root)",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure(
+        args.genes, args.samples, args.ranks, args.B, args.repeats, args.backend
+    )
+
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parent.parent / RESULT_FILE
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(
+        f"pmaxT {result['matrix'][0]}x{result['matrix'][1]}, "
+        f"B={result['B']}, {result['ranks']} ranks on "
+        f"'{result['backend']}', best of {result['repeats']}"
+    )
+    print(
+        f"  cold (spawn per call)  {result['cold_call_s'] * 1e3:8.1f} ms\n"
+        f"  warm (resident pool)   {result['warm_call_s'] * 1e3:8.1f} ms\n"
+        f"  speedup {result['warm_speedup']:.2f}x  "
+        f"(saves {result['saved_per_call_s'] * 1e3:.1f} ms per call)"
+    )
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

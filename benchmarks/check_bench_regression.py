@@ -1,0 +1,146 @@
+"""CI bench-regression gate: smoke-run JSONs vs the committed records.
+
+The committed ``BENCH_*.json`` files record full-scale runs on a developer
+machine; CI re-runs each benchmark at smoke scale on whatever runner it
+gets.  Absolute times are therefore not comparable — but the *ratios* the
+benchmarks exist to defend (shm-vs-pickled broadcast speedup, pooled-kernel
+speedup, warm-vs-cold session speedup) are scale-free claims that must not
+quietly decay.
+
+This checker walks each (smoke, committed) JSON pair, collects every
+numeric leaf whose key names a ratio (``*speedup*``), and fails when a
+smoke ratio has regressed by more than the tolerance factor relative to
+the committed record::
+
+    python benchmarks/check_bench_regression.py \\
+        --pair /tmp/smoke_backend.json:BENCH_backend.json:3.5 \\
+        --pair /tmp/smoke_session.json:BENCH_session.json
+
+A pair's optional third field overrides ``--tolerance`` (default 2.0)
+for that pair alone: compute-bound ratios (kernel, permgen, session
+warm-vs-cold) are scale-free and hold the strict default, while
+bandwidth-bound ones (the shm-vs-pickled wire ratios, which swing with
+the runner's core count and memory system) get a documented wider bound
+— the invariant still defended there is that the win does not collapse.
+
+Exit status 0 = no regression beyond tolerance, 1 = regression (or a
+malformed pair).  Keys present on only one side are reported and skipped,
+so adding metrics to a benchmark never breaks older records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+#: A numeric leaf participates in the gate when its key contains one of
+#: these substrings (case-insensitive).
+RATIO_KEY_MARKERS = ("speedup",)
+
+
+def collect_ratio_keys(node, prefix=""):
+    """Flatten nested dicts to ``{dotted.path: value}`` for ratio leaves."""
+    out = {}
+    if not isinstance(node, dict):
+        return out
+    for key, value in node.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            out.update(collect_ratio_keys(value, path))
+        elif isinstance(value, (int, float)) and any(
+            marker in key.lower() for marker in RATIO_KEY_MARKERS
+        ):
+            out[path] = float(value)
+    return out
+
+
+def compare(smoke: dict, committed: dict, tolerance: float):
+    """Yield ``(path, smoke_value, committed_value, ok)`` per shared ratio.
+
+    A smoke ratio passes when it is at least ``committed / tolerance`` —
+    i.e. it may be up to ``tolerance`` times worse than the committed
+    record (smoke scale and runner noise), but not more.
+    """
+    smoke_ratios = collect_ratio_keys(smoke)
+    committed_ratios = collect_ratio_keys(committed)
+    for path in sorted(set(smoke_ratios) & set(committed_ratios)):
+        observed, recorded = smoke_ratios[path], committed_ratios[path]
+        ok = observed >= recorded / tolerance
+        yield path, observed, recorded, ok
+    for path in sorted(set(committed_ratios) - set(smoke_ratios)):
+        print(f"  note: {path} only in the committed record; skipped")
+    for path in sorted(set(smoke_ratios) - set(committed_ratios)):
+        print(f"  note: {path} only in the smoke run; skipped")
+
+
+def check_pair(smoke_path: str, committed_path: str, tolerance: float) -> bool:
+    smoke = json.loads(Path(smoke_path).read_text())
+    committed = json.loads(Path(committed_path).read_text())
+    name = committed.get("benchmark", committed_path)
+    print(f"{name}: smoke={smoke_path} committed={committed_path}")
+    all_ok, seen = True, 0
+    for path, observed, recorded, ok in compare(smoke, committed, tolerance):
+        seen += 1
+        verdict = "ok" if ok else f"REGRESSION (>{tolerance:g}x)"
+        print(f"  {path}: smoke {observed:.3f} vs committed {recorded:.3f}  {verdict}")
+        all_ok = all_ok and ok
+    if seen == 0:
+        print("  ERROR: no shared ratio keys to compare")
+        return False
+    return all_ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a smoke benchmark ratio regresses vs the "
+        "committed BENCH_*.json record."
+    )
+    parser.add_argument(
+        "--pair",
+        action="append",
+        required=True,
+        metavar="SMOKE:COMMITTED[:TOLERANCE]",
+        help="smoke-run JSON and committed record, colon-separated, with "
+        "an optional per-pair tolerance override (repeatable)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="default maximum allowed regression factor (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for pair in args.pair:
+        parts = pair.split(":")
+        if len(parts) == 2:
+            smoke_path, committed_path = parts
+            tolerance = args.tolerance
+        elif len(parts) == 3:
+            smoke_path, committed_path = parts[0], parts[1]
+            try:
+                tolerance = float(parts[2])
+            except ValueError:
+                print(f"malformed --pair {pair!r} (tolerance not a number)")
+                failed = True
+                continue
+        else:
+            print(
+                f"malformed --pair {pair!r} "
+                "(expected SMOKE:COMMITTED[:TOLERANCE])"
+            )
+            failed = True
+            continue
+        if not check_pair(smoke_path, committed_path, tolerance):
+            failed = True
+    if failed:
+        print("bench regression gate: FAIL")
+        return 1
+    print("bench regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

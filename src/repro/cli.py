@@ -7,6 +7,7 @@ permutation test on a dataset file without writing any Python::
     repro-maxt expression.csv --test t --b 10000 --ranks 4 --out result.tsv
     repro-maxt expression.npz --b 50000 --backend shm --ranks 8
     repro-maxt expression.npz --test wilcoxon --side upper --top 25
+    repro-maxt expression.npz --b 10000 --backend shm --ranks 4 --session
 
 Dataset formats are the CSV/NPZ layouts of :mod:`repro.data.io`.  The SPMD
 world comes from the execution-backend registry
@@ -69,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-rank BLAS threadpool cap (default: "
                         "automatic cores//ranks for process backends; "
                         "0 disables capping)")
+    parser.add_argument("--session", action="store_true",
+                        help="dispatch through a persistent backend "
+                        "session (repro.mpi.open_session): the "
+                        "service-style path that keeps the worker pool "
+                        "resident — identical results, demonstrates warm "
+                        "dispatch")
     parser.add_argument("--dtype", default="float64",
                         choices=("float64", "float32"),
                         help="statistic compute precision (float32: ~2x "
@@ -116,7 +123,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.seed is not None:
             kwargs["seed"] = args.seed
 
-        if args.ranks <= 1 and args.backend == DEFAULT_BACKEND:
+        if args.session:
+            # The session fixes the BLAS policy at open time; pmaxT's own
+            # blas_threads= is rejected alongside session=.
+            from .mpi import open_session
+
+            blas = kwargs.pop("blas_threads")
+            with open_session(args.backend, max(1, args.ranks),
+                              blas_threads=blas) as world:
+                result = pmaxT(X, classlabel, session=world, **kwargs)
+        elif args.ranks <= 1 and args.backend == DEFAULT_BACKEND:
             result = pmaxT(X, classlabel, **kwargs)
         else:
             result = pmaxT(X, classlabel, backend=args.backend,

@@ -33,7 +33,11 @@ Workspace lifetime rules:
 
 * one workspace serves one ``(stat, chunk_size)`` problem shape; it may be
   reused across any number of :func:`run_kernel` calls with the same shape
-  (the checkpointing driver does exactly that);
+  (the checkpointing driver does exactly that, and a rank running under a
+  persistent :class:`~repro.mpi.session.BackendSession` keeps one resident
+  across whole ``pmaxT`` calls via
+  :func:`~repro.mpi.session.resident_cache` — the session/backend layer
+  owns its lifetime there);
 * the matrices returned by ``stat.batch(..., work=...)`` and the
   workspace's views are valid **only until the next batch** touches the
   pool — the kernel consumes them immediately and so must any other caller;

@@ -50,14 +50,23 @@ usable here, in ``pcor`` and in the CLI without touching this module.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from ..errors import DataError
 from ..mpi import Communicator, SUM, SerialComm
+from ..mpi.session import BackendSession, resident_cache
 from ..permute import DEFAULT_COMPLETE_LIMIT, DEFAULT_SEED
 from ..stats import MT_NA_NUM
+from ..stats.na import to_nan
 from .adjust import pvalues_from_counts
-from .kernel import DEFAULT_CHUNK, compute_observed, run_kernel
+from .kernel import (
+    DEFAULT_CHUNK,
+    KernelWorkspace,
+    compute_observed,
+    run_kernel,
+)
 from .options import MaxTOptions, build_generator, build_statistic, validate_options
 from .partition import partition_permutations
 from .profile import SectionTimer
@@ -114,6 +123,18 @@ def _unpack_options(t: tuple) -> MaxTOptions:
     )
 
 
+def _session_worker(comm: Communicator, checkpoint_dir: str | None = None,
+                    checkpoint_interval: int = 2_048) -> MaxTResult | None:
+    """Worker-rank pmaxT under a persistent session.
+
+    Module-level (hence picklable) counterpart of the launch closure:
+    worker ranks need no data or options of their own — both arrive via
+    the master's Step 2/3 broadcasts — only the local checkpoint knobs.
+    """
+    return pmaxT(None, None, comm=comm, checkpoint_dir=checkpoint_dir,
+                 checkpoint_interval=checkpoint_interval)
+
+
 def pmaxT(
     X=None,
     classlabel=None,
@@ -127,6 +148,7 @@ def pmaxT(
     comm: Communicator | None = None,
     backend: str | None = None,
     ranks: int | None = None,
+    session: BackendSession | None = None,
     seed: int = DEFAULT_SEED,
     chunk_size: int = DEFAULT_CHUNK,
     complete_limit: int = DEFAULT_COMPLETE_LIMIT,
@@ -149,6 +171,13 @@ def pmaxT(
     itself and return the master's result directly — a one-line parallel
     run with no explicit world management.  ``backend`` and ``comm`` are
     mutually exclusive.
+
+    For repeated calls, pass ``session=`` (from
+    :func:`repro.mpi.open_session`) instead: the session's resident
+    worker pool serves every call warm — no process spawns after the
+    first, and each rank reuses its resident
+    :class:`~repro.core.kernel.KernelWorkspace` across calls of the same
+    problem shape.  Results are identical to every other launch path.
 
     On worker ranks ``X`` and ``classlabel`` may be ``None``; the data
     arrives via the master's broadcast.  The result is returned on the
@@ -175,7 +204,7 @@ def pmaxT(
     the permutation partition (Figure 2 of the paper) together with the
     skippable generators reproduces the serial permutation sequence exactly.
     """
-    if backend is not None or ranks is not None:
+    if backend is not None or ranks is not None or session is not None:
         from ..mpi.backends import launch_master
 
         def _job(world_comm: Communicator) -> MaxTResult | None:
@@ -191,8 +220,14 @@ def pmaxT(
                 checkpoint_interval=checkpoint_interval,
             )
 
-        return launch_master(backend, ranks, _job, comm=comm, caller="pmaxT",
-                             blas_threads=blas_threads)
+        # The worker-rank half for a persistent session (jobs cross a
+        # queue there, so the callable must be picklable): everything but
+        # the checkpoint knobs arrives via the Step 2/3 broadcasts.
+        worker = partial(_session_worker, checkpoint_dir=checkpoint_dir,
+                         checkpoint_interval=checkpoint_interval)
+        return launch_master(backend, ranks, _job, comm=comm,
+                             session=session, worker_fn=worker,
+                             caller="pmaxT", blas_threads=blas_threads)
 
     if comm is None:
         comm = SerialComm()
@@ -240,15 +275,29 @@ def pmaxT(
     # -- Step 3: broadcast + transform the input data ------------------------
     with timer.section("create_data"):
         if master:
-            data = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+            if options.dtype == "float64":
+                # Zero-copy for contiguous float64 input; NA codes travel
+                # as-is and every rank's statistic NaN-ifies them (the
+                # pre-session behaviour, kept bit- and fingerprint-
+                # identical).
+                data = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+            else:
+                # float32 wire: the NA code must become NaN *before* the
+                # cast — MT_NA_NUM is not float32-representable, so a
+                # cast-first wire would round the code away and the
+                # statistics would miss the missing cells.  The per-rank
+                # to_nan stays idempotent on the NaN-ified result.
+                data = to_nan(X, options.na)
             labels = np.ascontiguousarray(np.asarray(classlabel,
                                                      dtype=np.int64))
         else:
             data = labels = None
         # Array-aware collectives: the backend moves the matrix its own
         # best way (zero-copy segments on "shm", pickled queues on
-        # "processes", the shared address space in-process).
-        data = comm.bcast_array(data, root=0)
+        # "processes", the shared address space in-process).  The wire is
+        # dtype-aware: a float32 compute run ships float32 bytes — half
+        # the "create data" traffic — rather than casting after transfer.
+        data = comm.bcast_array(data, root=0, dtype=options.dtype)
         labels = comm.bcast_array(labels, root=0)
         # Global sum synchronises all ranks and confirms allocation
         # succeeded everywhere (the paper's Step 3 "global sum").
@@ -274,9 +323,26 @@ def pmaxT(
             generator = build_generator(options, labels)
             kernel_args = dict(start=chunk.start, count=chunk.count)
         if checkpoint_dir is None:
+            # Under a session, each rank owns a resident KernelWorkspace
+            # that survives across pmaxT calls: a warm call of the same
+            # problem shape reuses the previous call's buffers (counts are
+            # bit-identical with or without a workspace — pinned by
+            # tests).  The checkpoint driver below manages its own
+            # workspace, so nothing is parked in the cache on that path.
+            cache = resident_cache()
+            workspace = None
+            if cache is not None:
+                workspace = cache.get("kernel_workspace")
+                if not (isinstance(workspace, KernelWorkspace)
+                        and workspace.compatible_with(stat,
+                                                      options.chunk_size)):
+                    workspace = KernelWorkspace.for_stat(stat,
+                                                         options.chunk_size)
+                    cache["kernel_workspace"] = workspace
             counts = run_kernel(
                 stat, generator, observed, options.side,
-                chunk_size=options.chunk_size, **kernel_args,
+                chunk_size=options.chunk_size, workspace=workspace,
+                **kernel_args,
             )
         else:
             from .checkpoint import (

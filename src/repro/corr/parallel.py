@@ -19,9 +19,16 @@ import numpy as np
 from ..core.partition import partition_permutations
 from ..errors import DataError
 from ..mpi import Communicator, SerialComm
+from ..mpi.session import BackendSession
 from .serial import cor
 
 __all__ = ["pcor", "row_block"]
+
+
+def _session_worker(comm: Communicator) -> np.ndarray | None:
+    """Worker-rank pcor under a persistent session (picklable; the data
+    and options arrive via the master's broadcasts)."""
+    return pcor(comm=comm)
 
 
 def row_block(m: int, rank: int, size: int) -> tuple[int, int]:
@@ -40,6 +47,7 @@ def pcor(X=None, Y=None, *, use: str = "everything",
          comm: Communicator | None = None,
          backend: str | None = None,
          ranks: int | None = None,
+         session: BackendSession | None = None,
          blas_threads: int | None = None) -> np.ndarray | None:
     """Parallel Pearson correlation of matrix rows.
 
@@ -54,8 +62,12 @@ def pcor(X=None, Y=None, *, use: str = "everything",
     The result is **identical** to :func:`repro.corr.cor` for any world
     size: each output row is computed by exactly one rank with the same
     arithmetic as the serial code.
+
+    For repeated calls, ``session=`` (from :func:`repro.mpi.open_session`)
+    dispatches over a resident worker pool instead of launching a fresh
+    world per call.
     """
-    if backend is not None or ranks is not None:
+    if backend is not None or ranks is not None or session is not None:
         from ..mpi.backends import launch_master
 
         def _job(world_comm: Communicator) -> np.ndarray | None:
@@ -63,8 +75,9 @@ def pcor(X=None, Y=None, *, use: str = "everything",
                         Y if world_comm.is_master else None,
                         use=use, na=na, comm=world_comm)
 
-        return launch_master(backend, ranks, _job, comm=comm, caller="pcor",
-                             blas_threads=blas_threads)
+        return launch_master(backend, ranks, _job, comm=comm,
+                             session=session, worker_fn=_session_worker,
+                             caller="pcor", blas_threads=blas_threads)
 
     if comm is None:
         comm = SerialComm()

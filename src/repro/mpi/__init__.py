@@ -31,6 +31,17 @@ To plug in a custom substrate, subclass
 ``fn(comm)``), give it a ``name``, and call
 :func:`~repro.mpi.backends.register_backend`; the name becomes valid in
 every ``backend=`` parameter and in the CLI's ``--backend`` flag.
+
+**Sessions** (:mod:`repro.mpi.session`) — the persistent counterpart of a
+one-shot ``backend=``/``ranks=`` launch: :func:`~repro.mpi.backends.
+open_session` returns a context-managed world that spawns its ranks once
+and dispatches successive jobs warm (resident workers, queues and
+per-rank kernel workspaces), the analogue of the paper's long-lived
+``mpiexec`` allocation::
+
+    with open_session("shm", ranks=8) as session:
+        for X, labels in requests:
+            result = pmaxT(X, labels, B=10_000, session=session)
 """
 
 from .backends import (
@@ -41,6 +52,7 @@ from .backends import (
     ShmBackend,
     ThreadBackend,
     available_backends,
+    open_session,
     register_backend,
     resolve_backend,
     run_backend,
@@ -55,6 +67,12 @@ from .blasctl import (
 from .comm import MAX, MIN, SUM, Communicator, ReduceOp
 from .processes import ProcessComm, run_spmd_processes
 from .serial import SerialComm
+from .session import (
+    BackendSession,
+    EphemeralSession,
+    WorkerPoolSession,
+    resident_cache,
+)
 from .shm import ShmComm, run_spmd_shm
 from .threads import ThreadComm, ThreadWorld, run_spmd
 
@@ -82,6 +100,11 @@ __all__ = [
     "resolve_backend",
     "available_backends",
     "run_backend",
+    "open_session",
+    "BackendSession",
+    "EphemeralSession",
+    "WorkerPoolSession",
+    "resident_cache",
     "blas_available",
     "blas_thread_limit",
     "get_blas_threads",

@@ -37,9 +37,10 @@ from typing import Any, Callable
 
 from ..errors import CommunicatorError
 from .comm import Communicator
-from .processes import run_spmd_processes
+from .processes import ProcessComm, run_spmd_processes
 from .serial import SerialComm
-from .shm import run_spmd_shm
+from .session import BackendSession, EphemeralSession, WorkerPoolSession
+from .shm import ShmComm, run_spmd_shm
 from .threads import run_spmd
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "resolve_backend",
     "available_backends",
     "run_backend",
+    "open_session",
     "DEFAULT_BACKEND",
 ]
 
@@ -76,6 +78,23 @@ class Backend(ABC):
     def run(self, fn: SpmdFunction, ranks: int, *,
             timeout: float | None = None) -> list[Any]:
         """Execute ``fn(comm)`` on ``ranks`` ranks; return rank-ordered results."""
+
+    def open_session(self, ranks: int, *, blas_threads: int | None = None,
+                     idle_timeout: float | None = None,
+                     job_timeout: float | None = None) -> BackendSession:
+        """A world that outlives individual jobs (see :mod:`repro.mpi.session`).
+
+        The default is an :class:`~repro.mpi.session.EphemeralSession`
+        that dispatches each job through :meth:`run` — correct for any
+        backend, and all an in-process world needs (its threads are cheap
+        to stand up; the session still keeps per-rank caches warm).  The
+        process backends override this with a persistent
+        :class:`~repro.mpi.session.WorkerPoolSession` that spawns the
+        worker ranks once.  ``idle_timeout``/``job_timeout`` only apply to
+        persistent pools and are ignored here.
+        """
+        return EphemeralSession(self, self.check_ranks(ranks),
+                                blas_threads=blas_threads)
 
     def check_ranks(self, ranks: int) -> int:
         ranks = int(ranks)
@@ -118,6 +137,8 @@ class ProcessBackend(Backend):
     """Forked OS processes; payloads pickled through per-rank queues."""
 
     name = "processes"
+    #: Communicator class a persistent session's ranks run against.
+    session_comm_cls: type[ProcessComm] = ProcessComm
 
     def run(self, fn: SpmdFunction, ranks: int, *,
             timeout: float | None = None) -> list[Any]:
@@ -126,11 +147,24 @@ class ProcessBackend(Backend):
             return run_spmd_processes(fn, ranks)
         return run_spmd_processes(fn, ranks, timeout=timeout)
 
+    def open_session(self, ranks: int, *, blas_threads: int | None = None,
+                     idle_timeout: float | None = None,
+                     job_timeout: float | None = None) -> BackendSession:
+        """A persistent pool: workers forked once, jobs dispatched warm."""
+        kwargs: dict[str, Any] = {}
+        if job_timeout is not None:
+            kwargs["job_timeout"] = job_timeout
+        return WorkerPoolSession(self.session_comm_cls,
+                                 self.check_ranks(ranks), name=self.name,
+                                 blas_threads=blas_threads,
+                                 idle_timeout=idle_timeout, **kwargs)
 
-class ShmBackend(Backend):
+
+class ShmBackend(ProcessBackend):
     """Forked OS processes; arrays travel via shared-memory segments."""
 
     name = "shm"
+    session_comm_cls = ShmComm
 
     def run(self, fn: SpmdFunction, ranks: int, *,
             timeout: float | None = None) -> list[Any]:
@@ -187,52 +221,95 @@ def run_backend(spec: str | Backend, fn: SpmdFunction, ranks: int, *,
     return resolve_backend(spec).run(fn, ranks, timeout=timeout)
 
 
+def open_session(backend: str | Backend | None = None,
+                 ranks: int | None = None, *,
+                 blas_threads: int | None = None,
+                 idle_timeout: float | None = None,
+                 job_timeout: float | None = None) -> BackendSession:
+    """Open a persistent SPMD world for repeated dispatch.
+
+    The service-style entry point (see :mod:`repro.mpi.session`)::
+
+        with open_session("shm", ranks=8) as session:
+            for X, labels in requests:
+                result = pmaxT(X, labels, B=10_000, session=session)
+
+    The first call spawns the worker pool; every later call reuses it —
+    no process spawns, warm queues, resident per-rank kernel workspaces.
+    For in-process backends the returned session is ephemeral (threads
+    are cheap to stand up) but still carries the resident caches.
+
+    ``blas_threads`` fixes the per-rank BLAS policy for the session's
+    lifetime; ``idle_timeout`` tears a persistent pool down after that
+    many idle seconds (transparently respawned by the next call);
+    ``job_timeout`` bounds each job's collectives and result collection.
+    """
+    spec = DEFAULT_BACKEND if backend is None else backend
+    nranks = 1 if ranks is None else int(ranks)
+    return resolve_backend(spec).open_session(
+        nranks, blas_threads=blas_threads, idle_timeout=idle_timeout,
+        job_timeout=job_timeout)
+
+
 def launch_master(backend: str | Backend | None, ranks: int | None,
                   fn: SpmdFunction, *, comm: Any = None,
+                  session: BackendSession | None = None,
+                  worker_fn: SpmdFunction | None = None,
                   caller: str = "this function",
                   blas_threads: int | None = None) -> Any:
-    """Launch a world for a ``backend=``/``ranks=`` convenience call.
+    """Launch (or reuse) a world for a convenience call; return rank 0's result.
 
-    Shared preamble of ``pmaxT(..., backend=, ranks=)`` and
-    ``pcor(..., backend=, ranks=)``: reject a simultaneous ``comm=``,
-    default the backend/rank count, run ``fn`` on every rank and return
-    the master's (rank 0's) result.
+    Shared preamble of ``pmaxT(..., backend=, ranks=, session=)`` and
+    ``pcor(...)``: reject a simultaneous ``comm=``, then dispatch through
+    a :class:`~repro.mpi.session.BackendSession` — the caller's persistent
+    one when ``session=`` is given, else a fresh ephemeral one-shot
+    session that preserves the pre-session semantics exactly (fork-based
+    worlds still carry ``fn``'s closure by fork).
+
+    ``worker_fn`` is the picklable worker-rank callable a persistent
+    session needs (see the session module's dispatch contract).  A
+    caller-supplied ``session`` honours it on every backend (worker ranks
+    run ``worker_fn``, rank 0 runs ``fn``).  The ephemeral fallback below
+    deliberately does NOT pass it on: every rank runs ``fn`` there,
+    preserving the pre-session one-shot semantics exactly — so the two
+    callables must be behaviourally interchangeable for any caller that
+    supports both launch paths, as pmaxT/pcor's are (their worker halves
+    take every input from the master's broadcasts).
 
     ``blas_threads`` caps each rank's BLAS threadpool for the duration of
     the world (``0`` disables capping).  The ``processes``/``shm`` worker
     bootstrap applies an automatic ``max(1, cores // ranks)`` cap even
     without it; an explicit value also covers the in-process backends,
-    whose shared pool is restored once the world completes.
+    whose shared pool is restored once the world completes.  A session
+    fixes the policy when it is opened, so combining ``session=`` with
+    ``blas_threads=`` is rejected.
     """
     from ..errors import DataError, OptionError
 
+    if session is not None:
+        if comm is not None:
+            raise DataError(
+                f"pass either comm= (an existing SPMD world) or session= "
+                f"({caller} dispatches over the session's world), not both")
+        if backend is not None or ranks is not None:
+            raise DataError(
+                f"session= already fixes the backend and rank count; "
+                f"drop backend=/ranks= when passing a session to {caller}")
+        if blas_threads is not None:
+            raise OptionError(
+                "blas_threads is fixed when the session is opened; pass "
+                "it to open_session(...) instead")
+        return session.run(fn, worker_fn=worker_fn)[0]
     if comm is not None:
         raise DataError(
             f"pass either comm= (an existing SPMD world) or backend=/"
             f"ranks= ({caller} launches the world), not both")
-    if blas_threads is not None and int(blas_threads) < 0:
-        raise OptionError(
-            f"blas_threads must be >= 0 (0 disables capping), "
-            f"got {blas_threads}")
     spec = DEFAULT_BACKEND if backend is None else backend
     nranks = 1 if ranks is None else int(ranks)
-    resolved = resolve_backend(spec)
-    if blas_threads is None:
-        return resolved.run(fn, nranks)[0]
-    from .blasctl import blas_thread_limit, worker_cap_override
-
-    if resolved.in_process:
-        # One shared pool: cap it for the world's duration, restore after.
-        # 0 means "leave the pool alone", which is already the case here.
-        if blas_threads == 0:
-            return resolved.run(fn, nranks)[0]
-        with blas_thread_limit(blas_threads):
-            return resolved.run(fn, nranks)[0]
-    # Process-type world: the per-rank policy (including 0 = uncapped)
-    # must reach the worker *bootstrap*, which runs before fn; ship it
-    # through the environment the forked children inherit.
-    with worker_cap_override(blas_threads):
-        return resolved.run(fn, nranks)[0]
+    one_shot = EphemeralSession(resolve_backend(spec), nranks,
+                                blas_threads=blas_threads)
+    with one_shot:
+        return one_shot.run(fn)[0]
 
 
 for _backend in (SerialBackend(), ThreadBackend(), ProcessBackend(),

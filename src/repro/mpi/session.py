@@ -1,0 +1,753 @@
+"""Persistent backend sessions: resident SPMD worker pools.
+
+The one-shot launchers (:func:`~repro.mpi.processes.run_spmd_processes`,
+:func:`~repro.mpi.shm.run_spmd_shm`) pay the full world cost on every call:
+``ranks`` process spawns, fresh queues, fresh shared-memory machinery and a
+cold :class:`~repro.core.kernel.KernelWorkspace` on every rank.  That is
+the right trade for a single ``pmaxT`` run and exactly the wrong one for a
+service that answers many calls against a warm pool — the paper's
+long-lived ``mpiexec`` allocation, which SPRINT keeps resident for the
+whole R script.
+
+A :class:`BackendSession` is the Python analogue of that allocation:
+
+* :class:`WorkerPoolSession` (the ``processes``/``shm`` backends) forks the
+  worker ranks **once**.  The calling process is rank 0 — the SPRINT
+  master — and successive SPMD jobs are dispatched to the resident workers
+  as generation-tagged frames over the same per-rank queues the
+  collectives use.  Communicators, queues and per-rank caches (see
+  :func:`resident_cache`) stay warm across jobs; a crashed worker or a
+  failed job tears the pool down and the next dispatch respawns it under a
+  new generation tag, so stale frames can never be mistaken for live ones.
+* :class:`EphemeralSession` (every other backend, and the fallback used by
+  ``backend=``/``ranks=`` convenience calls) launches a fresh world per
+  job through ``Backend.run`` — the exact pre-session semantics.  For the
+  in-process backends it still provides per-rank resident caches, so a
+  threads session reuses kernel workspaces across calls too.
+
+Dispatch contract
+-----------------
+
+``session.run(fn, worker_fn=None)`` runs ``fn(comm)`` on rank 0 (the
+calling process — closures over local data are fine there) and
+``worker_fn(comm)`` (default ``fn``) on every worker rank.  On a
+:class:`WorkerPoolSession` the worker callable crosses a queue, so it must
+be picklable — a module-level function or :func:`functools.partial` of
+one; the fork-based one-shot path has no such restriction.  Jobs are SPMD:
+every rank must execute the same collective sequence and return, leaving
+no unconsumed traffic behind, before the session dispatches the next job.
+
+Per-rank resident caches
+------------------------
+
+While a session job runs, :func:`resident_cache` returns a dict private to
+the calling rank that survives across jobs (it lives in the resident
+worker process, or in the session object for rank 0 and thread worlds).
+``pmaxT`` uses it to keep its :class:`~repro.core.kernel.KernelWorkspace`
+warm: a second call of the same problem shape reuses the first call's
+buffers instead of reallocating them.  Outside a session it returns
+``None`` and callers fall back to per-call state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as queue_mod
+import threading
+import time
+import traceback
+import weakref
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from ..errors import CommunicatorError, OptionError
+from .comm import Communicator
+from .processes import _DEFAULT_TIMEOUT, _join_or_kill, ProcessComm
+
+__all__ = [
+    "BackendSession",
+    "EphemeralSession",
+    "WorkerPoolSession",
+    "resident_cache",
+]
+
+SpmdFunction = Callable[[Communicator], Any]
+
+#: Frame kinds a resident worker understands between jobs.  They share the
+#: 4-tuple shape of the collective wire format, so a stale frame can never
+#: be confused with either job framing (wrong kind) or a live collective
+#: (workers only read these between jobs, when no collective is in flight).
+_JOB_KIND = "session-job"
+_STOP_KIND = "session-stop"
+
+#: How often a blocked master re-checks worker health, and how often an
+#: idle worker re-checks that its parent is still alive.
+_HEALTH_POLL_S = 0.1
+_ORPHAN_POLL_S = 1.0
+
+_LOCAL = threading.local()
+
+
+def resident_cache() -> dict | None:
+    """The calling rank's session-resident cache, or ``None`` outside one.
+
+    The dict persists for the lifetime of the session's worker pool (one
+    per rank), so consumers can keep shape-keyed scratch state — kernel
+    workspaces, warm buffers — alive across successive jobs.  Entries are
+    the consumer's own business; the session never reads them.
+    """
+    return getattr(_LOCAL, "cache", None)
+
+
+@contextmanager
+def _cache_scope(cache: dict):
+    """Expose ``cache`` through :func:`resident_cache` for the duration."""
+    previous = getattr(_LOCAL, "cache", None)
+    _LOCAL.cache = cache
+    try:
+        yield
+    finally:
+        _LOCAL.cache = previous
+
+
+class BackendSession(ABC):
+    """A context-managed SPMD world that outlives individual jobs."""
+
+    #: Registry name of the backend this session runs on.
+    backend_name: str = "?"
+
+    @property
+    @abstractmethod
+    def ranks(self) -> int:
+        """World size (master rank 0 included)."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; a closed session cannot run."""
+
+    @abstractmethod
+    def run(
+        self,
+        fn: SpmdFunction,
+        *,
+        worker_fn: SpmdFunction | None = None,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Run one SPMD job; return rank-ordered results.
+
+        ``fn(comm)`` runs on rank 0, ``worker_fn(comm)`` (default ``fn``)
+        on every other rank.  See the module docstring for the dispatch
+        contract.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear the world down; idempotent."""
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the resident worker processes (empty when in-process)."""
+        return []
+
+    def _assert_open(self) -> None:
+        if self.closed:
+            raise CommunicatorError(
+                f"session on backend {self.backend_name!r} is closed"
+            )
+
+    def __enter__(self) -> "BackendSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return (
+            f"{type(self).__name__}(backend={self.backend_name!r}, "
+            f"ranks={self.ranks}, {state})"
+        )
+
+
+def _check_blas_threads(blas_threads: int | None) -> int | None:
+    if blas_threads is not None and int(blas_threads) < 0:
+        raise OptionError(
+            f"blas_threads must be >= 0 (0 disables capping), "
+            f"got {blas_threads}"
+        )
+    return None if blas_threads is None else int(blas_threads)
+
+
+class EphemeralSession(BackendSession):
+    """A session that stands up a fresh world per job through ``Backend.run``.
+
+    This is the fallback that preserves the one-shot semantics: fork-based
+    backends still carry closures by fork, in-process backends still share
+    the caller's address space.  What it adds over a bare ``run_backend``
+    call is the session interface (so every consumer has one dispatch
+    path) and, for in-process backends, per-rank resident caches that
+    survive across jobs.
+    """
+
+    def __init__(self, backend, ranks: int, *, blas_threads: int | None = None):
+        self._backend = backend
+        self._ranks = int(ranks)
+        self._blas_threads = _check_blas_threads(blas_threads)
+        # Worker processes are throwaway, so only in-process worlds can
+        # meaningfully keep per-rank state warm across jobs.
+        self._caches: list[dict] | None = (
+            [{} for _ in range(self._ranks)] if backend.in_process else None
+        )
+        self._closed = False
+        self.backend_name = backend.name
+        self.jobs_run = 0
+
+    @property
+    def ranks(self) -> int:
+        return self._ranks
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def run(
+        self,
+        fn: SpmdFunction,
+        *,
+        worker_fn: SpmdFunction | None = None,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        self._assert_open()
+        job = self._compose(fn, worker_fn)
+        results = self._run_capped(job, timeout)
+        self.jobs_run += 1
+        return results
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _compose(
+        self, fn: SpmdFunction, worker_fn: SpmdFunction | None
+    ) -> SpmdFunction:
+        if worker_fn is None:
+            job = fn
+        else:
+
+            def job(comm: Communicator) -> Any:
+                return fn(comm) if comm.rank == 0 else worker_fn(comm)
+
+        caches = self._caches
+        if caches is None:
+            return job
+
+        def cached_job(comm: Communicator) -> Any:
+            with _cache_scope(caches[comm.rank]):
+                return job(comm)
+
+        return cached_job
+
+    def _run_capped(self, job: SpmdFunction, timeout: float | None) -> list[Any]:
+        backend, ranks, blas = self._backend, self._ranks, self._blas_threads
+        if blas is None:
+            return backend.run(job, ranks, timeout=timeout)
+        from .blasctl import blas_thread_limit, worker_cap_override
+
+        if backend.in_process:
+            # One shared pool: cap for the world's duration, restore after
+            # (0 means "leave the pool alone", already the case here).
+            if blas == 0:
+                return backend.run(job, ranks, timeout=timeout)
+            with blas_thread_limit(blas):
+                return backend.run(job, ranks, timeout=timeout)
+        # Process-type world: the per-rank policy (including 0 = uncapped)
+        # must reach the worker *bootstrap*, which runs before the job;
+        # ship it through the environment the forked children inherit.
+        with worker_cap_override(blas):
+            return backend.run(job, ranks, timeout=timeout)
+
+
+def _pool_worker(
+    comm_cls,
+    rank,
+    size,
+    inboxes,
+    results_q,
+    generation,
+    job_timeout,
+    blas_threads,
+    parent_pid,
+):  # pragma: no cover - runs in the child process
+    """Resident worker main: serve job frames until stopped or orphaned."""
+    from .blasctl import apply_worker_cap
+
+    apply_worker_cap(size, blas_threads)
+    # The resident per-rank cache (see resident_cache()): created once per
+    # pool incarnation, shared by every job this worker serves.
+    _LOCAL.cache = {}
+    comm = comm_cls(rank, size, inboxes, job_timeout)
+    inbox = inboxes[rank]
+    while True:
+        try:
+            frame = inbox.get(timeout=_ORPHAN_POLL_S)
+        except queue_mod.Empty:
+            if os.getppid() != parent_pid:
+                return  # the session's process died without close()
+            continue
+        except (OSError, EOFError, ValueError):
+            return  # queue torn down under us
+        if not (isinstance(frame, tuple) and len(frame) == 4):
+            continue
+        kind, gen, seq, wire = frame
+        if kind == _STOP_KIND:
+            return
+        if kind != _JOB_KIND or gen != generation:
+            # Stale framing from a previous pool incarnation: drop it.
+            continue
+        try:
+            job = pickle.loads(wire)
+            result = job(comm)
+        except BaseException as exc:  # noqa: BLE001 - shipped to the master
+            results_q.put(
+                (
+                    gen,
+                    seq,
+                    rank,
+                    False,
+                    (type(exc).__name__, str(exc), traceback.format_exc()),
+                )
+            )
+            # The world's collective state is unknown after a failure; the
+            # master tears the pool down, so this worker retires too.
+            return
+        results_q.put((gen, seq, rank, True, result))
+        del job, result
+        prune = getattr(comm, "_prune_attached", None)
+        if prune is not None:
+            # Release shared-memory mappings whose broadcast views died
+            # with the job, so a long-lived worker cannot pin dead pages.
+            prune()
+
+
+#: Whether per-process state can be read from /proc (Linux — the only
+#: platform the fork backends support anyway; elsewhere fall back to
+#: ``Process.is_alive`` alone).
+_HAVE_PROC = os.path.isdir("/proc")
+
+
+def _proc_defunct(proc) -> bool:
+    """Whether a worker process is dead for dispatch purposes.
+
+    ``Process.is_alive`` alone misses a narrow window: a SIGKILLed
+    worker's thread-group leader shows state ``Z`` in ``/proc`` (and can
+    never serve another job) slightly *before* the whole thread group —
+    queue feeders included — becomes waitable, during which ``waitpid``
+    still reports it running.  Consulting the process state as well makes
+    a kill visible the moment it is visible anywhere.
+    """
+    if not proc.is_alive():
+        return True
+    if not _HAVE_PROC:
+        return False
+    try:
+        with open(f"/proc/{proc.pid}/stat") as fh:
+            content = fh.read()
+    except OSError:
+        return True  # entry gone while is_alive hadn't caught up
+    try:
+        state = content.rsplit(")", 1)[1].split()[0]
+    except IndexError:
+        return False  # transient malformed read: not definitive
+    return state in ("Z", "X", "x")
+
+
+def _reap_pool(procs, queues):
+    """GC/atexit fallback: kill an unclosed pool and release its queues."""
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    _join_or_kill(procs, timeout=2.0)
+    for q in queues:
+        try:
+            q.cancel_join_thread()
+            q.close()
+        except (OSError, ValueError):
+            pass
+
+
+class _WatchfulInbox:
+    """Master-inbox wrapper that polls world health while blocking.
+
+    The master runs its half of every job in the calling process, so a
+    worker that dies mid-collective would otherwise leave it blocked until
+    the full communicator timeout.  Wrapping only the master's own inbox,
+    ``get`` waits in short slices and runs the session's health check
+    between them — a dead or failed worker surfaces within
+    ``_HEALTH_POLL_S`` instead.
+    """
+
+    def __init__(self, queue, health_check):
+        self._queue = queue
+        self._health = health_check
+
+    def get(self, timeout: float | None = None):
+        if timeout is None:
+            while True:
+                try:
+                    return self._queue.get(timeout=_HEALTH_POLL_S)
+                except queue_mod.Empty:
+                    self._health()
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise queue_mod.Empty
+            try:
+                return self._queue.get(timeout=min(_HEALTH_POLL_S, remaining))
+            except queue_mod.Empty:
+                self._health()
+
+    def put(self, item) -> None:  # pragma: no cover - conformance only
+        self._queue.put(item)
+
+
+class WorkerPoolSession(BackendSession):
+    """Persistent process-world session: spawn once, dispatch many jobs.
+
+    The calling process is rank 0; ``ranks - 1`` resident workers are
+    forked at first dispatch (and respawned under a new generation tag
+    after a crash, a failed job, or an idle teardown).  Parameters:
+
+    comm_cls:
+        Per-rank communicator class (:class:`~repro.mpi.processes.ProcessComm`
+        or :class:`~repro.mpi.shm.ShmComm`).
+    ranks:
+        World size, master included.
+    blas_threads:
+        Per-rank BLAS cap applied at worker bootstrap, and to the master's
+        pool for the duration of each job (``None`` = automatic
+        ``cores // ranks``, ``0`` = uncapped).
+    idle_timeout:
+        Seconds of inactivity after which the pool is torn down (the
+        session stays open; the next job respawns).  ``None`` = never.
+    job_timeout:
+        Communicator timeout and default per-job result deadline.
+    """
+
+    def __init__(
+        self,
+        comm_cls: type[ProcessComm],
+        ranks: int,
+        *,
+        name: str | None = None,
+        blas_threads: int | None = None,
+        idle_timeout: float | None = None,
+        job_timeout: float = _DEFAULT_TIMEOUT,
+    ):
+        if int(ranks) < 1:
+            raise CommunicatorError(f"ranks must be >= 1, got {ranks}")
+        self._comm_cls = comm_cls
+        self._ranks = int(ranks)
+        self._blas_threads = _check_blas_threads(blas_threads)
+        self._idle_timeout = idle_timeout
+        self._job_timeout = float(job_timeout)
+        self.backend_name = name if name is not None else comm_cls.__name__
+        self._lock = threading.RLock()
+        self._closed = False
+        self._procs: list | None = None
+        self._inboxes: list | None = None
+        self._results_q = None
+        self._result_buffer: list[tuple] = []
+        self._master_comm: ProcessComm | None = None
+        self._master_cache: dict = {}
+        self._generation = 0
+        self._next_seq = 0
+        self._finalizer: weakref.finalize | None = None
+        self._idle_timer: threading.Timer | None = None
+        self._activity_seq = 0
+        #: Pool incarnations spawned so far (1 after the first dispatch;
+        #: each crash/idle respawn increments it).
+        self.spawns = 0
+        #: Successfully completed jobs.
+        self.jobs_run = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def ranks(self) -> int:
+        return self._ranks
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def generation(self) -> int:
+        """Current pool incarnation tag (bumped on every respawn)."""
+        return self._generation
+
+    @property
+    def warm(self) -> bool:
+        """True while a worker pool is resident."""
+        return self._procs is not None
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            if self._procs is None:
+                return []
+            return [p.pid for p in self._procs]
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run(
+        self,
+        fn: SpmdFunction,
+        *,
+        worker_fn: SpmdFunction | None = None,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        with self._lock:
+            self._assert_open()
+            self._activity_seq += 1
+            self._cancel_idle_timer()
+            try:
+                return self._dispatch(fn, worker_fn, timeout)
+            finally:
+                self._schedule_idle_timer()
+
+    def _dispatch(
+        self, fn: SpmdFunction, worker_fn: SpmdFunction | None, timeout: float | None
+    ) -> list[Any]:
+        job = worker_fn if worker_fn is not None else fn
+        try:
+            wire = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CommunicatorError(
+                f"session job is not picklable: {exc!r} (resident workers "
+                "receive jobs over a queue, unlike the fork-based one-shot "
+                "path — pass a module-level function or a functools.partial "
+                "of one as worker_fn)"
+            ) from exc
+        self._ensure_pool()
+        gen, seq = self._generation, self._next_seq
+        self._next_seq += 1
+        for dest in range(1, self._ranks):
+            self._inboxes[dest].put((_JOB_KIND, gen, seq, wire))
+        results: list[Any] = [None] * self._ranks
+        try:
+            results[0] = self._run_master(fn)
+            deadline = time.monotonic() + (
+                self._job_timeout if timeout is None else timeout
+            )
+            collected = 0
+            while collected < self._ranks - 1:
+                egen, eseq, rank, ok, payload = self._take_result(deadline)
+                if egen != gen or eseq != seq:
+                    continue  # stale entry from a torn-down incarnation
+                if not ok:
+                    name, message, tb = payload
+                    raise CommunicatorError(
+                        f"session job failed on rank {rank} with {name}: "
+                        f"{message}\n--- worker traceback ---\n{tb}"
+                    )
+                results[rank] = payload
+                collected += 1
+        except BaseException:
+            # The world's collective state is unknown after any failure
+            # (ranks may be blocked mid-collective): tear the pool down;
+            # the next dispatch respawns it under a fresh generation.
+            self._teardown_pool(graceful=False)
+            raise
+        self.jobs_run += 1
+        return results
+
+    def _run_master(self, fn: SpmdFunction) -> Any:
+        cap = self._blas_threads
+        if cap is None:
+            from .blasctl import recommended_blas_threads
+
+            cap = recommended_blas_threads(self._ranks)
+        with _cache_scope(self._master_cache):
+            if cap and cap > 0:
+                from .blasctl import blas_thread_limit
+
+                with blas_thread_limit(cap):
+                    return fn(self._master_comm)
+            return fn(self._master_comm)
+
+    def _take_result(self, deadline: float) -> tuple:
+        while True:
+            if self._result_buffer:
+                return self._result_buffer.pop(0)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CommunicatorError(
+                    "timed out waiting for session job results"
+                )
+            try:
+                return self._results_q.get(
+                    timeout=min(_HEALTH_POLL_S, remaining)
+                )
+            except queue_mod.Empty:
+                self._check_world_health()
+
+    # -- health ------------------------------------------------------------
+
+    def _check_world_health(self) -> None:
+        """Raise if a worker failed or died; buffer early result frames.
+
+        Runs between the master's collective poll slices (see
+        :class:`_WatchfulInbox`) and between result-queue polls.  Draining
+        the result queue first gives a clean failure report priority over
+        the bare "worker died" diagnosis of the exit that follows it.
+        """
+        while True:
+            try:
+                self._result_buffer.append(self._results_q.get_nowait())
+            except (queue_mod.Empty, OSError, ValueError, EOFError):
+                break
+        for entry in self._result_buffer:
+            _gen, _seq, rank, ok, payload = entry
+            if not ok:
+                name, message, tb = payload
+                raise CommunicatorError(
+                    f"session job failed on rank {rank} with {name}: "
+                    f"{message}\n--- worker traceback ---\n{tb}"
+                )
+        for rank, proc in enumerate(self._procs or [], start=1):
+            if _proc_defunct(proc):
+                raise CommunicatorError(
+                    f"session worker rank {rank} (pid {proc.pid}) died "
+                    f"unexpectedly (exitcode {proc.exitcode}); the pool "
+                    "will be respawned on the next dispatch"
+                )
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self) -> None:
+        if self._procs is not None:
+            if not any(_proc_defunct(p) for p in self._procs):
+                return
+            # A worker died between jobs (kill -9, OOM): the control plane
+            # may hold its unconsumed frames, so rebuild the whole world.
+            self._teardown_pool(graceful=False)
+        self._spawn_pool()
+
+    def _spawn_pool(self) -> None:
+        ctx = mp.get_context("fork")
+        self._generation += 1
+        gen = self._generation
+        self._inboxes = [ctx.Queue() for _ in range(self._ranks)]
+        self._results_q = ctx.Queue()
+        self._result_buffer = []
+        parent = os.getpid()
+        procs = []
+        for rank in range(1, self._ranks):
+            p = ctx.Process(
+                target=_pool_worker,
+                args=(
+                    self._comm_cls,
+                    rank,
+                    self._ranks,
+                    self._inboxes,
+                    self._results_q,
+                    gen,
+                    self._job_timeout,
+                    self._blas_threads,
+                    parent,
+                ),
+                name=f"spmd-pool-{self.backend_name}-{rank}",
+                daemon=True,
+            )
+            p.start()
+            procs.append(p)
+        self._procs = procs
+        master_inboxes = list(self._inboxes)
+        master_inboxes[0] = _WatchfulInbox(
+            self._inboxes[0], self._check_world_health
+        )
+        self._master_comm = self._comm_cls(
+            0, self._ranks, master_inboxes, self._job_timeout
+        )
+        self.spawns += 1
+        self._finalizer = weakref.finalize(
+            self, _reap_pool, procs, [*self._inboxes, self._results_q]
+        )
+
+    def _teardown_pool(self, *, graceful: bool) -> None:
+        procs, inboxes = self._procs, self._inboxes
+        results_q = self._results_q
+        self._procs = None
+        self._inboxes = None
+        self._results_q = None
+        self._result_buffer = []
+        self._master_comm = None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if procs is None:
+            return
+        if graceful:
+            for rank, p in enumerate(procs, start=1):
+                if p.is_alive():
+                    try:
+                        inboxes[rank].put(
+                            (_STOP_KIND, self._generation, 0, None)
+                        )
+                    except (OSError, ValueError):
+                        pass
+            for p in procs:
+                p.join(timeout=5)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        _join_or_kill(procs, timeout=5.0)
+        # The queues are never reused (a respawn builds fresh ones), so
+        # drop them without flushing: a feeder blocked on the pipe of a
+        # killed worker must not hang interpreter shutdown.
+        for q in (*inboxes, results_q):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._cancel_idle_timer()
+            self._teardown_pool(graceful=True)
+
+    # -- idle teardown -----------------------------------------------------
+
+    def _schedule_idle_timer(self) -> None:
+        if self._idle_timeout is None or self._procs is None:
+            return
+        timer = threading.Timer(
+            self._idle_timeout, self._idle_teardown, args=(self._activity_seq,)
+        )
+        timer.daemon = True
+        timer.start()
+        self._idle_timer = timer
+
+    def _cancel_idle_timer(self) -> None:
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+            self._idle_timer = None
+
+    def _idle_teardown(self, armed_seq: int) -> None:
+        # cancel() cannot stop a timer whose callback has already started
+        # and is blocked on the lock behind a running job — so the timer
+        # carries the activity sequence it was armed under, and a firing
+        # that lost the race (any job ran since) is a no-op instead of
+        # tearing down a pool that was busy milliseconds ago.
+        with self._lock:
+            if self._closed or self._procs is None:
+                return
+            if armed_seq != self._activity_seq:
+                return
+            self._teardown_pool(graceful=True)

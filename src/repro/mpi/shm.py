@@ -101,10 +101,12 @@ class ShmComm(ProcessComm):
         view.flags.writeable = False
         return segment, view
 
-    def bcast_array(self, arr, root: int = 0):
+    def bcast_array(self, arr, root: int = 0, *, dtype=None):
         self._check_root(root)
         if self.size == 1:
-            return np.ascontiguousarray(arr)
+            if dtype is None:
+                return np.ascontiguousarray(arr)
+            return np.ascontiguousarray(arr, dtype=np.dtype(dtype))
         # Only the root knows the payload size, so the route travels in the
         # message: small arrays go over the queue wire (same format as
         # ProcessComm), large ones as a shared segment.  The closing
@@ -114,20 +116,34 @@ class ShmComm(ProcessComm):
         # which unlinks the name — while a slow worker is still attaching.
         # Mappings taken before the unlink stay valid while the view lives.
         if self._rank == root:
-            arr = np.ascontiguousarray(arr)
+            # Dtype-aware wire: the cast happens *before* the route choice,
+            # so a float32 run both ships half the bytes and picks its
+            # route from the true payload size.
+            if dtype is None:
+                arr = np.ascontiguousarray(arr)
+            else:
+                arr = np.ascontiguousarray(arr, dtype=np.dtype(dtype))
             if arr.nbytes < SHM_THRESHOLD_BYTES:
                 self.bcast(("wire", *_to_wire(arr)), root=root)
                 return arr
             segment, meta = self._share(arr)
-            self.bcast(("shm", *meta), root=root)
-            self.barrier()
-            # Every worker holds a mapping now, and mappings survive the
-            # unlink — so the name is reclaimed immediately rather than at
-            # teardown.  A rank killed mid-failure therefore cannot leave
-            # a named segment behind (outside the narrow create→barrier
-            # window, where the resource tracker still mops up).
-            segment.close()
-            segment.unlink()
+            try:
+                self.bcast(("shm", *meta), root=root)
+                self.barrier()
+                # Every worker holds a mapping now, and mappings survive
+                # the unlink — so the name is reclaimed immediately rather
+                # than at teardown.
+            finally:
+                # Unlink even when the collective fails mid-way (a peer
+                # died; the barrier raised).  The root of a persistent
+                # session is a long-lived service process, so a segment
+                # left for the resource tracker's at-exit sweep would pin
+                # matrix-sized shared memory until the service restarts.
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
             return arr
         route, *rest = self.bcast(None, root=root)
         if route == "wire":
@@ -149,12 +165,20 @@ class ShmComm(ProcessComm):
             return super().reduce_array(arr, op=op, root=root)
         if self._rank != root:
             segment, meta = self._share(arr)
-            self.gather(meta, root=root)
-            # The closing barrier guarantees the root has finished reading;
-            # the creator then reclaims its own segment immediately.
-            self.barrier()
-            segment.close()
-            segment.unlink()
+            try:
+                self.gather(meta, root=root)
+                # The closing barrier guarantees the root has finished
+                # reading; the creator then reclaims its own segment.
+                self.barrier()
+            finally:
+                # As in bcast_array: reclaim the name on the failure path
+                # too, so a contributor that survives a failed collective
+                # (e.g. a session worker whose peer died) strands nothing.
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
             return None
         metas = self.gather(None, root=root)
         acc: np.ndarray | None = None

@@ -140,9 +140,22 @@ class SprintFramework:
         return fn(self.comm, *args, **kwargs)
 
 
+def _session_worker(comm: Communicator,
+                    registry: FunctionRegistry | None = None) -> None:
+    """Worker-rank half of a session-dispatched SPRINT program.
+
+    Module-level so it can cross a persistent session's job queue; the
+    registry must therefore be picklable there (the default registry of
+    module-level functions is).
+    """
+    SprintFramework(comm, registry).init()
+    return None
+
+
 def run_sprint(script: Callable[[MasterHandle], Any], *,
                backend: str = "threads", ranks: int = 2,
-               registry: FunctionRegistry | None = None) -> Any:
+               registry: FunctionRegistry | None = None,
+               session: Any = None) -> Any:
     """Run a complete SPRINT program over any registered execution backend.
 
     ``script`` is the master's "R script": it receives the
@@ -162,7 +175,16 @@ def run_sprint(script: Callable[[MasterHandle], Any], *,
     master-on-the-calling-thread design needs an in-process backend).
     For the fork-based backends (``processes``/``shm``), ``script`` and
     any functions in ``registry`` travel by fork, so closures are fine.
+
+    ``session=`` (a :class:`~repro.mpi.session.BackendSession` from
+    :func:`repro.mpi.open_session`) dispatches the program over the
+    session's resident world instead of launching one: the master script
+    runs in the calling process, the waiting loops on the warm workers.
+    ``backend``/``ranks`` are ignored in that case; on a persistent
+    session the registry must be picklable.
     """
+    from functools import partial
+
     from ..mpi.backends import run_backend
 
     def program(comm: Communicator) -> Any:
@@ -173,4 +195,7 @@ def run_sprint(script: Callable[[MasterHandle], Any], *,
         with master:
             return script(master)
 
+    if session is not None:
+        worker = partial(_session_worker, registry=registry)
+        return session.run(program, worker_fn=worker)[0]
     return run_backend(backend, program, ranks)[0]

@@ -38,7 +38,10 @@ class SprintSession:
     the calling thread *is* rank 0, which a fork-based world cannot offer.
     For the process backends (``"processes"``/``"shm"``) use
     :func:`repro.sprint.run_sprint`, which runs the whole SPRINT program —
-    master script included — inside the launched world.
+    master script included — inside the launched world; pair it with a
+    persistent :class:`~repro.mpi.session.BackendSession`
+    (``run_sprint(script, session=...)``) to keep that world's worker
+    pool resident across programs.
     """
 
     def __init__(self, nprocs: int = 2,

@@ -26,7 +26,7 @@ MT_NA_NUM: float = -93074815.0
 
 
 def to_nan(X, na: float | None = MT_NA_NUM) -> np.ndarray:
-    """Return a float64 copy of ``X`` with the ``na`` code replaced by NaN.
+    """Return a float copy of ``X`` with the ``na`` code replaced by NaN.
 
     Parameters
     ----------
@@ -36,8 +36,16 @@ def to_nan(X, na: float | None = MT_NA_NUM) -> np.ndarray:
         Numeric missing-value code; cells equal to it become NaN.  Pass
         ``None`` to skip code substitution (NaNs already present are always
         treated as missing either way).
+
+    The copy is float64 except for float32 input, which is preserved: the
+    float32 compute mode's dtype-aware broadcast delivers float32 (already
+    NaN-ified by the master), and an upcast round trip here would double
+    the transient footprint per rank without changing a single value —
+    the statistics cast to their compute dtype immediately after.
     """
-    arr = np.array(X, dtype=np.float64, copy=True)
+    dtype = (np.float32 if isinstance(X, np.ndarray)
+             and X.dtype == np.float32 else np.float64)
+    arr = np.array(X, dtype=dtype, copy=True)
     if arr.ndim != 2:
         raise DataError(f"X must be a 2-D matrix, got shape {arr.shape}")
     if arr.shape[0] == 0 or arr.shape[1] == 0:

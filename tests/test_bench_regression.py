@@ -1,0 +1,124 @@
+"""The CI bench-regression gate: ratio collection, tolerance, exit codes."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_CHECKER = Path(__file__).resolve().parent.parent / "benchmarks" \
+    / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", _CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+COMMITTED = {
+    "benchmark": "demo",
+    "matrix": [8000, 200],
+    "bcast_speedup": 3.6,
+    "pickled_bcast_s": 0.25,       # absolute time: not part of the gate
+    "kernel": {"speedup": 1.8, "legacy_s": 0.75},
+}
+
+
+class TestRatioCollection:
+    def test_collects_nested_speedups_only(self, checker):
+        ratios = checker.collect_ratio_keys(COMMITTED)
+        assert ratios == {"bcast_speedup": 3.6, "kernel.speedup": 1.8}
+
+    def test_non_dict_leaves_are_ignored(self, checker):
+        assert checker.collect_ratio_keys({"matrix": [1, 2]}) == {}
+
+
+class TestCompare:
+    def test_identical_records_pass(self, checker):
+        rows = list(checker.compare(COMMITTED, COMMITTED, tolerance=2.0))
+        assert len(rows) == 2 and all(ok for *_, ok in rows)
+
+    def test_within_tolerance_passes(self, checker):
+        smoke = {"bcast_speedup": 1.9, "kernel": {"speedup": 1.0}}
+        rows = list(checker.compare(smoke, COMMITTED, tolerance=2.0))
+        assert all(ok for *_, ok in rows)
+
+    def test_regression_beyond_tolerance_fails(self, checker):
+        smoke = {"bcast_speedup": 1.7, "kernel": {"speedup": 1.8}}
+        rows = {path: ok for path, _, _, ok in
+                checker.compare(smoke, COMMITTED, tolerance=2.0)}
+        assert rows == {"bcast_speedup": False, "kernel.speedup": True}
+
+    def test_one_sided_keys_are_skipped(self, checker):
+        smoke = {"bcast_speedup": 3.6, "new_speedup": 9.9}
+        rows = [path for path, *_ in
+                checker.compare(smoke, COMMITTED, tolerance=2.0)]
+        assert rows == ["bcast_speedup"]
+
+
+class TestMain:
+    def test_passing_pair_exits_zero(self, checker, tmp_path, capsys):
+        smoke = _write(tmp_path, "smoke.json", COMMITTED)
+        committed = _write(tmp_path, "committed.json", COMMITTED)
+        assert checker.main(["--pair", f"{smoke}:{committed}"]) == 0
+        assert "gate: ok" in capsys.readouterr().out
+
+    def test_regressed_pair_exits_one(self, checker, tmp_path, capsys):
+        bad = dict(COMMITTED, bcast_speedup=1.0)
+        smoke = _write(tmp_path, "smoke.json", bad)
+        committed = _write(tmp_path, "committed.json", COMMITTED)
+        assert checker.main(["--pair", f"{smoke}:{committed}"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_tolerance(self, checker, tmp_path):
+        bad = dict(COMMITTED, bcast_speedup=1.0, kernel={"speedup": 0.95})
+        smoke = _write(tmp_path, "smoke.json", bad)
+        committed = _write(tmp_path, "committed.json", COMMITTED)
+        assert checker.main(["--pair", f"{smoke}:{committed}",
+                             "--tolerance", "4"]) == 0
+
+    def test_per_pair_tolerance_override(self, checker, tmp_path):
+        bad = dict(COMMITTED, bcast_speedup=1.2, kernel={"speedup": 0.6})
+        smoke = _write(tmp_path, "smoke.json", bad)
+        committed = _write(tmp_path, "committed.json", COMMITTED)
+        # fails at the default 2.0, passes with a 3.5 pair override
+        assert checker.main(["--pair", f"{smoke}:{committed}"]) == 1
+        assert checker.main(["--pair", f"{smoke}:{committed}:3.5"]) == 0
+
+    def test_malformed_pair_exits_one(self, checker, capsys):
+        assert checker.main(["--pair", "no-colon-here"]) == 1
+        assert "malformed" in capsys.readouterr().out
+
+    def test_malformed_pair_tolerance_exits_one(self, checker, tmp_path,
+                                                capsys):
+        smoke = _write(tmp_path, "smoke.json", COMMITTED)
+        committed = _write(tmp_path, "committed.json", COMMITTED)
+        assert checker.main(
+            ["--pair", f"{smoke}:{committed}:wide"]) == 1
+        assert "malformed" in capsys.readouterr().out
+
+    def test_no_shared_keys_exits_one(self, checker, tmp_path):
+        smoke = _write(tmp_path, "smoke.json", {"other": 1.0})
+        committed = _write(tmp_path, "committed.json", COMMITTED)
+        assert checker.main(["--pair", f"{smoke}:{committed}"]) == 1
+
+    def test_real_committed_records_self_compare(self, checker):
+        """The committed BENCH files themselves feed the gate cleanly."""
+        root = _CHECKER.parent.parent
+        for record in sorted(root.glob("BENCH_*.json")):
+            assert checker.main(
+                ["--pair", f"{record}:{record}"]) == 0, record.name

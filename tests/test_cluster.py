@@ -2,12 +2,9 @@
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
 import pytest
 
-from repro.bench.paper import BENCH_B, BENCH_GENES, PROFILE_TABLES
+from repro.bench.paper import BENCH_B, PROFILE_TABLES
 from repro.cluster import (
     PLATFORM_NAMES,
     SERIAL_R_MODEL,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from itertools import permutations
-from math import comb, factorial
+from math import comb
 
 import numpy as np
 import pytest

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.corr import cor, pcor, row_block
-from repro.data import inject_missing, synthetic_expression
+from repro.data import inject_missing
 from repro.errors import DataError
 from repro.mpi import run_spmd
 from repro.stats import MT_NA_NUM

@@ -20,7 +20,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data import block_labels, paired_labels, two_class_labels
+from repro.data import block_labels, two_class_labels
 from repro.errors import PermutationError
 from repro.permute import (
     CompleteBlock,

@@ -12,7 +12,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data import block_labels, multiclass_labels, paired_labels, two_class_labels
+from repro.data import block_labels, multiclass_labels, two_class_labels
 from repro.permute import (
     CompleteBlock,
     CompleteMulticlass,

@@ -10,7 +10,6 @@ from repro import mt_maxT
 from repro.core.options import build_generator, build_statistic, validate_options
 from repro.data import (
     block_labels,
-    inject_missing,
     multiclass_labels,
     paired_labels,
     two_class_labels,

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.options import (
-    MaxTOptions,
     build_generator,
     build_statistic,
     validate_options,

@@ -16,7 +16,6 @@ from repro import mt_maxT, pmaxT
 from repro.core.partition import partition_permutations
 from repro.data import (
     multiclass_labels,
-    paired_labels,
     synthetic_expression,
     two_class_labels,
 )

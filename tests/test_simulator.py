@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench.paper import BENCH_B, PROFILE_TABLES, TABLE6_BIGDATA, TABLE6_PROCS

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cluster import get_platform, render_timeline, simulate_pmaxt
 
 
