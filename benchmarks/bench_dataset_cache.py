@@ -1,0 +1,220 @@
+"""Measured benchmark: dataset registry + result cache vs plain warm calls.
+
+The tentpole claims of the registry/cache layer, timed on one problem:
+
+* **published warm call** — the matrix is published once into shared
+  memory; warm calls broadcast only a segment descriptor instead of the
+  matrix (the "create data" column of the paper's tables drops out);
+* **cache hit** — an identical repeated analysis is answered from the
+  content-addressed result cache without dispatching a job at all;
+* **incremental B** — extending a cached ``B`` to ``2B`` computes only
+  the new half, bit-identical to a cold run at ``2B``.
+
+All paths are verified bit-identical before any number is reported.
+Writes ``BENCH_cache.json``.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_dataset_cache.py
+    PYTHONPATH=src python benchmarks/bench_dataset_cache.py \\
+        --genes 4000 --samples 200 --ranks 8 --b 5000
+
+or through pytest (acceptance shape, asserts the wins)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dataset_cache.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import pmaxT
+from repro.core.checkpoint import ResultCache
+from repro.data import synthetic_expression, two_class_labels
+from repro.mpi import open_session
+
+# The acceptance shape, matching bench_session_reuse.py so the two JSONs
+# compose: 2000x100, 4 shm ranks, B=1000.
+DEFAULT_GENES = 2_000
+DEFAULT_SAMPLES = 100
+DEFAULT_RANKS = 4
+DEFAULT_B = 1_000
+DEFAULT_REPEATS = 3
+DEFAULT_BACKEND = "shm"
+RESULT_FILE = "BENCH_cache.json"
+
+
+def measure(
+    n_genes=DEFAULT_GENES,
+    n_samples=DEFAULT_SAMPLES,
+    ranks=DEFAULT_RANKS,
+    B=DEFAULT_B,
+    repeats=DEFAULT_REPEATS,
+    backend=DEFAULT_BACKEND,
+    seed=5,
+) -> dict:
+    """Time warm matrix calls vs published / cache-hit / incremental-B."""
+    X, _ = synthetic_expression(
+        n_genes, n_samples, n_class1=n_samples // 2, de_fraction=0.1, seed=seed
+    )
+    labels = two_class_labels(n_samples // 2, n_samples - n_samples // 2)
+    kwargs = dict(test="t", seed=29)
+
+    cold = pmaxT(X, labels, B=B, **kwargs)
+    cold_2b = pmaxT(X, labels, B=2 * B, **kwargs)
+
+    with open_session(backend, ranks) as session:
+        pmaxT(X, labels, B=B, session=session, **kwargs)  # spawn + warm-up
+
+        # Baseline: warm session call shipping the matrix every time
+        # (the PR 3 state of the art).
+        warm_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            warm = pmaxT(X, labels, B=B, session=session, **kwargs)
+            warm_times.append(time.perf_counter() - start)
+
+        # Published: same warm pool, matrix resolved from the registry —
+        # only the segment descriptor and the labels cross the wire.
+        handle = session.publish(X, labels=labels)
+        pmaxT(handle, B=B, session=session, **kwargs)  # map segments once
+        published_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            published = pmaxT(handle, B=B, session=session, **kwargs)
+            published_times.append(time.perf_counter() - start)
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            cache = ResultCache(cache_dir)
+            pmaxT(handle, B=B, session=session, cache=cache, **kwargs)  # seed
+
+            # Cache hit: the identical analysis answered from disk.
+            hit_times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                hit = pmaxT(handle, B=B, session=session, cache=cache,
+                            **kwargs)
+                hit_times.append(time.perf_counter() - start)
+
+            # Incremental B -> 2B: reuse the cached B counts, compute only
+            # [B, 2B).  Each repeat restores the B-only cache state first
+            # (removing the 2B entry) so every timed call extends.
+            extend_times = []
+            for _ in range(repeats):
+                for path in Path(cache_dir).glob(f"maxt-*-B{2 * B}.npz"):
+                    path.unlink()
+                start = time.perf_counter()
+                extended = pmaxT(handle, B=2 * B, session=session,
+                                 cache=cache, **kwargs)
+                extend_times.append(time.perf_counter() - start)
+
+            # Cold 2B on the same warm pool: what the extension replaces.
+            cold_2b_times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                warm_2b = pmaxT(handle, B=2 * B, session=session, **kwargs)
+                cold_2b_times.append(time.perf_counter() - start)
+
+            assert cache.hits == repeats
+            assert cache.extensions == repeats
+
+    # Every path must agree bit-for-bit before any timing is believed.
+    for other in (warm, published, hit):
+        np.testing.assert_array_equal(cold.adjp, other.adjp)
+    np.testing.assert_array_equal(cold_2b.adjp, extended.adjp)
+    np.testing.assert_array_equal(cold_2b.adjp, warm_2b.adjp)
+
+    warm_best = min(warm_times)
+    published_best = min(published_times)
+    hit_best = min(hit_times)
+    extend_best = min(extend_times)
+    cold_2b_best = min(cold_2b_times)
+    return {
+        "benchmark": "dataset_cache",
+        "matrix": [n_genes, n_samples],
+        "B": B,
+        "ranks": ranks,
+        "backend": backend,
+        "repeats": repeats,
+        "warm_matrix_call_s": warm_best,
+        "published_call_s": published_best,
+        "cache_hit_s": hit_best,
+        "incremental_2b_s": extend_best,
+        "cold_2b_call_s": cold_2b_best,
+        "published_speedup": warm_best / published_best,
+        "cache_hit_speedup": warm_best / hit_best,
+        "incremental_speedup": cold_2b_best / extend_best,
+        "incremental_fraction_of_cold": extend_best / cold_2b_best,
+    }
+
+
+def test_cache_paths_beat_warm_at_acceptance_shape():
+    """ISSUE acceptance: published no slower, hit >= 2x, extension <= ~55%."""
+    result = measure(n_genes=2_000, n_samples=100, ranks=4, B=1_000,
+                     repeats=3)
+    assert result["published_speedup"] > 0.9, (
+        f"published warm call ({result['published_call_s']:.4f}s) should "
+        f"not lose to the matrix-shipping call "
+        f"({result['warm_matrix_call_s']:.4f}s)")
+    assert result["cache_hit_speedup"] > 2.0, (
+        f"cache hit ({result['cache_hit_s']:.4f}s) should be >= 2x faster "
+        f"than a warm compute call ({result['warm_matrix_call_s']:.4f}s)")
+    assert result["incremental_fraction_of_cold"] < 0.75, (
+        f"incremental B->2B ({result['incremental_2b_s']:.4f}s) should "
+        f"cost well under a cold 2B run ({result['cold_2b_call_s']:.4f}s)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time published / cache-hit / incremental-B pmaxT calls."
+    )
+    parser.add_argument("--genes", type=int, default=DEFAULT_GENES)
+    parser.add_argument("--samples", type=int, default=DEFAULT_SAMPLES)
+    parser.add_argument("--ranks", type=int, default=DEFAULT_RANKS)
+    parser.add_argument("--b", type=int, default=DEFAULT_B, dest="B")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--backend", default=DEFAULT_BACKEND)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=f"output JSON path (default: {RESULT_FILE} in the repository root)",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure(
+        args.genes, args.samples, args.ranks, args.B, args.repeats, args.backend
+    )
+
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parent.parent / RESULT_FILE
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(
+        f"pmaxT {result['matrix'][0]}x{result['matrix'][1]}, "
+        f"B={result['B']}, {result['ranks']} ranks on "
+        f"'{result['backend']}', best of {result['repeats']}"
+    )
+    print(
+        f"  warm call, matrix shipped   {result['warm_matrix_call_s'] * 1e3:8.1f} ms\n"
+        f"  warm call, published        {result['published_call_s'] * 1e3:8.1f} ms "
+        f"({result['published_speedup']:.2f}x)\n"
+        f"  cache hit                   {result['cache_hit_s'] * 1e3:8.1f} ms "
+        f"({result['cache_hit_speedup']:.2f}x)\n"
+        f"  incremental B->2B           {result['incremental_2b_s'] * 1e3:8.1f} ms "
+        f"({result['incremental_fraction_of_cold'] * 100:.0f}% of the "
+        f"{result['cold_2b_call_s'] * 1e3:.1f} ms cold 2B call)"
+    )
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

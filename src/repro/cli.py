@@ -8,6 +8,8 @@ permutation test on a dataset file without writing any Python::
     repro-maxt expression.npz --b 50000 --backend shm --ranks 8
     repro-maxt expression.npz --test wilcoxon --side upper --top 25
     repro-maxt expression.npz --b 10000 --backend shm --ranks 4 --session
+    repro-maxt expression.npz --b 50000 --cache-dir ~/.cache/repro
+    repro-maxt cache ls --cache-dir ~/.cache/repro
 
 Dataset formats are the CSV/NPZ layouts of :mod:`repro.data.io`.  The SPMD
 world comes from the execution-backend registry
@@ -20,7 +22,9 @@ application registered.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 from . import __version__
 from .core.pmaxt import pmaxT
@@ -83,6 +87,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "float64)")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="enable checkpoint/restart into this directory")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache: a repeated "
+                        "identical analysis is answered from disk, and a "
+                        "larger --b computes only the new permutations "
+                        "(default: $REPRO_CACHE_DIR when set, else off). "
+                        "Inspect with `repro-maxt cache ls --cache-dir DIR`")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache (overrides "
+                        "--cache-dir and $REPRO_CACHE_DIR)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print cache and session statistics after "
+                        "the run")
     parser.add_argument("--out", default=None, metavar="TSV",
                         help="write the full result table to this TSV file")
     parser.add_argument("--top", type=int, default=10, metavar="N",
@@ -104,10 +120,63 @@ def _load(path: str):
                      "(expected .csv or .npz)")
 
 
+def _resolve_cache(args) -> object | None:
+    """The CLI's cache policy: --no-cache > --cache-dir > $REPRO_CACHE_DIR."""
+    if args.no_cache:
+        return None
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return None
+    from .core.checkpoint import ResultCache
+
+    return ResultCache(cache_dir)
+
+
+def _cache_main(argv: list[str]) -> int:
+    """The ``repro-maxt cache ls|clear`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-maxt cache",
+        description="inspect or clear the content-addressed result cache")
+    parser.add_argument("action", choices=("ls", "clear"))
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default: $REPRO_CACHE_DIR)")
+    args = parser.parse_args(argv)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print("error: no cache directory (pass --cache-dir or set "
+              "$REPRO_CACHE_DIR)", file=sys.stderr)
+        return 2
+    from .core.checkpoint import ResultCache
+
+    cache = ResultCache(cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.directory}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"{cache.directory}: empty")
+        return 0
+    print(f"{cache.directory}: {len(entries)} entries")
+    for e in entries:
+        created = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(e.meta.get("created", 0)))
+        print(f"  {e.key[:16]}  B={e.nperm:<8d} "
+              f"test={e.meta.get('test', '?'):<10} "
+              f"dtype={e.meta.get('dtype', '?'):<8} "
+              f"m={e.meta.get('m', '?'):<6} {created}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["cache"]:
+        return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
+    session_stats = None
     try:
         X, classlabel, row_names = _load(args.dataset)
+        cache = _resolve_cache(args)
 
         kwargs = dict(
             test=args.test,
@@ -119,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
             blas_threads=args.blas_threads,
             row_names=row_names,
             checkpoint_dir=args.checkpoint_dir,
+            cache=cache,
         )
         if args.seed is not None:
             kwargs["seed"] = args.seed
@@ -131,7 +201,9 @@ def main(argv: list[str] | None = None) -> int:
             blas = kwargs.pop("blas_threads")
             with open_session(args.backend, max(1, args.ranks),
                               blas_threads=blas) as world:
-                result = pmaxT(X, classlabel, session=world, **kwargs)
+                handle = world.publish(X, labels=classlabel)
+                result = pmaxT(handle, session=world, **kwargs)
+                session_stats = world.stats()
         elif args.ranks <= 1 and args.backend == DEFAULT_BACKEND:
             result = pmaxT(X, classlabel, **kwargs)
         else:
@@ -159,6 +231,15 @@ def main(argv: list[str] | None = None) -> int:
         print(result.table(limit=args.top))
         if args.out:
             print(f"\nfull table written to {args.out}")
+
+    if args.verbose:
+        if cache is not None:
+            s = cache.stats()
+            print(f"\ncache {s['cache_dir']}: hits={s['cache_hits']} "
+                  f"misses={s['cache_misses']} extended={s['cache_extended']}")
+        if session_stats is not None:
+            print("session: " + ", ".join(
+                f"{k}={v}" for k, v in session_stats.items()))
     return 0
 
 

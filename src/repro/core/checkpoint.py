@@ -26,9 +26,11 @@ restarted job of the same world size resumes every chunk.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import tempfile
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -47,7 +49,11 @@ from .options import MaxTOptions
 
 __all__ = [
     "problem_fingerprint",
+    "dataset_fingerprint",
+    "result_cache_key",
     "CheckpointStore",
+    "CachedResult",
+    "ResultCache",
     "run_kernel_resumable",
 ]
 
@@ -75,6 +81,52 @@ def problem_fingerprint(X: np.ndarray, classlabel: np.ndarray,
     )
     h.update(repr(payload).encode())
     return h.hexdigest()
+
+
+def dataset_fingerprint(X: np.ndarray,
+                        classlabel: np.ndarray | None = None) -> str:
+    """Content digest of a dataset: the matrix bytes plus its labels.
+
+    This is the ``dataset`` half of a result-cache key.  The matrix is
+    always hashed in its canonical wire form (contiguous float64, NA
+    codes raw), so a float32 compute run and a float64 run of the same
+    input share one dataset fingerprint — the compute precision is keyed
+    separately in :func:`result_cache_key`.  The digest is **frozen**:
+    golden values are pinned by tests, because silently changing it
+    orphans every cached result.
+    """
+    h = hashlib.sha256()
+    data = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+    h.update(repr(("dataset", data.shape)).encode())
+    h.update(data.tobytes())
+    if classlabel is None:
+        h.update(b"|unlabelled")
+    else:
+        labels = np.ascontiguousarray(np.asarray(classlabel, dtype=np.int64))
+        h.update(repr(("labels", labels.shape)).encode())
+        h.update(labels.tobytes())
+    return h.hexdigest()
+
+
+def result_cache_key(dataset_fp: str, options: MaxTOptions) -> str:
+    """Key of a cached pmaxT result family: dataset x analysis options.
+
+    Covers every option that changes the permutation keystream or the
+    statistics — but **not** the permutation count: entries of one key
+    differing only in ``nperm`` are by construction prefixes of the same
+    counter-based permutation sequence, which is what makes the
+    incremental-B extension (compute only ``[B_old, B_new)``) sound.
+    ``chunk_size`` and ``complete_limit`` are excluded deliberately:
+    counts are chunking-invariant (pinned by the cross-backend tests)
+    and the enumeration decision they influence is captured by
+    ``complete``/``nperm``.
+    """
+    payload = (
+        "maxt-cache-v1", dataset_fp, options.test, options.side,
+        options.fixed_seed_sampling, options.na, options.nonpara,
+        options.seed, options.dtype, options.complete, options.store,
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
 @dataclass
@@ -150,6 +202,153 @@ class CheckpointStore:
         """Remove the checkpoint (call after a successful run)."""
         if self.path.exists():
             self.path.unlink()
+
+
+@dataclass
+class CachedResult:
+    """One content-addressed cache entry: counts + observed statistics."""
+
+    key: str
+    nperm: int
+    #: Observed statistics in the run's compute dtype (the significance
+    #: order and the untestable mask are deterministic functions of these
+    #: plus ``side``, so they are not stored separately).
+    teststat: np.ndarray
+    #: Reduced world-total counts; ``adjusted`` is in significance order,
+    #: exactly as :func:`~repro.core.adjust.pvalues_from_counts` consumes it.
+    counts: KernelCounts
+    meta: dict = field(default_factory=dict)
+
+
+class ResultCache:
+    """Content-addressed store of completed pmaxT count totals.
+
+    Files are ``maxt-<key>-B<nperm>.npz``: the key addresses the
+    ``(dataset, options)`` family (:func:`result_cache_key`), the suffix
+    the permutation count.  Because the counter-based generators make
+    permutation ``k`` a pure function of ``(seed, k)`` — independent of
+    the total count — an entry at a *smaller* ``nperm`` is a bit-exact
+    prefix of any larger run of the same key: :func:`lookup` therefore
+    returns the largest such entry as an extension base when no exact
+    match exists, and the caller computes only ``[nperm_old, nperm_new)``.
+
+    Writes reuse the checkpoint machinery's atomic pattern
+    (write-to-temp + ``os.replace``), so a crash mid-save can never leave
+    a half-written entry that a later lookup would trust.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Orchestration counters (exact hits / cold runs / extended-B runs).
+        self.hits = 0
+        self.misses = 0
+        self.extensions = 0
+
+    def _path(self, key: str, nperm: int) -> Path:
+        return self.directory / f"maxt-{key}-B{int(nperm)}.npz"
+
+    def save(self, key: str, nperm: int, teststat: np.ndarray,
+             counts: KernelCounts, meta: dict | None = None) -> Path:
+        """Atomically persist one entry; returns its path."""
+        if counts.nperm != nperm:  # pragma: no cover - defensive
+            raise DataError(
+                f"cache entry accounting error: counts cover {counts.nperm} "
+                f"permutations, entry claims {nperm}")
+        record = dict(meta or {})
+        record.setdefault("created", time.time())
+        record["nperm"] = int(nperm)
+        path = self._path(key, nperm)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(
+                    fh,
+                    key=np.frombuffer(key.encode(), dtype=np.uint8),
+                    nperm=np.int64(nperm),
+                    teststat=np.asarray(teststat),
+                    raw=np.asarray(counts.raw),
+                    adjusted=np.asarray(counts.adjusted),
+                    meta=np.frombuffer(
+                        json.dumps(record).encode(), dtype=np.uint8),
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def _load(self, path: Path) -> CachedResult:
+        with np.load(path) as data:
+            return CachedResult(
+                key=bytes(data["key"]).decode(),
+                nperm=int(data["nperm"]),
+                teststat=data["teststat"].copy(),
+                counts=KernelCounts(
+                    raw=data["raw"].copy(),
+                    adjusted=data["adjusted"].copy(),
+                    nperm=int(data["nperm"]),
+                ),
+                meta=json.loads(bytes(data["meta"]).decode()),
+            )
+
+    def lookup(self, key: str, nperm: int) -> CachedResult | None:
+        """Exact entry if present, else the largest smaller-``nperm`` one.
+
+        The caller distinguishes the two by comparing ``entry.nperm`` to
+        the request; ``None`` means a cold run is required.
+        """
+        exact = self._path(key, nperm)
+        if exact.exists():
+            return self._load(exact)
+        best = 0
+        prefix = f"maxt-{key}-B"
+        for path in self.directory.glob(f"{prefix}*.npz"):
+            try:
+                found = int(path.name[len(prefix):-len(".npz")])
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+            if best < found < nperm:
+                best = found
+        if best == 0:
+            return None
+        try:
+            return self._load(self._path(key, best))
+        except FileNotFoundError:  # pragma: no cover - raced removal
+            return None
+
+    def entries(self) -> list[CachedResult]:
+        """Every stored entry (for ``repro-maxt cache ls``), newest first."""
+        paths = sorted(self.directory.glob("maxt-*-B*.npz"),
+                       key=lambda p: p.stat().st_mtime, reverse=True)
+        return [self._load(p) for p in paths]
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("maxt-*-B*.npz"):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:  # pragma: no cover - raced removal
+                pass
+        return removed
+
+    def stats(self) -> dict:
+        """Counter snapshot (mirrored into ``session.stats()``)."""
+        return {
+            "cache_dir": str(self.directory),
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_extended": self.extensions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, extended={self.extensions})"
+        )
 
 
 def run_kernel_resumable(

@@ -50,26 +50,29 @@ usable here, in ``pcor`` and in the CLI without touching this module.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import partial
 
 import numpy as np
 
 from ..errors import DataError
 from ..mpi import Communicator, SUM, SerialComm
+from ..mpi.datasets import PublishedDataset, attach_published_view
 from ..mpi.session import BackendSession, resident_cache
 from ..permute import DEFAULT_COMPLETE_LIMIT, DEFAULT_SEED
 from ..stats import MT_NA_NUM
 from ..stats.na import to_nan
-from .adjust import pvalues_from_counts
+from .adjust import pvalues_from_counts, side_adjust, significance_order
 from .kernel import (
     DEFAULT_CHUNK,
+    KernelCounts,
     KernelWorkspace,
     compute_observed,
     run_kernel,
 )
 from .options import MaxTOptions, build_generator, build_statistic, validate_options
 from .partition import partition_permutations
-from .profile import SectionTimer
+from .profile import SectionProfile, SectionTimer
 from .result import MaxTResult
 
 __all__ = ["pmaxT"]
@@ -123,6 +126,22 @@ def _unpack_options(t: tuple) -> MaxTOptions:
     )
 
 
+@dataclass
+class _RangeCounts:
+    """Master-side return of a ranged run (``return_counts=True``).
+
+    Carries exactly what the result cache needs to extend an entry: the
+    observed statistics (for a consistency check against the cached
+    ones) and the world-total counts over the requested permutation
+    range, ``adjusted`` in significance order.
+    """
+
+    teststat: np.ndarray
+    counts: KernelCounts
+    nranks: int
+    profile: SectionProfile | None = None
+
+
 def _session_worker(comm: Communicator, checkpoint_dir: str | None = None,
                     checkpoint_interval: int = 2_048) -> MaxTResult | None:
     """Worker-rank pmaxT under a persistent session.
@@ -131,8 +150,8 @@ def _session_worker(comm: Communicator, checkpoint_dir: str | None = None,
     worker ranks need no data or options of their own — both arrive via
     the master's Step 2/3 broadcasts — only the local checkpoint knobs.
     """
-    return pmaxT(None, None, comm=comm, checkpoint_dir=checkpoint_dir,
-                 checkpoint_interval=checkpoint_interval)
+    return _pmaxt_run(None, None, comm=comm, checkpoint_dir=checkpoint_dir,
+                      checkpoint_interval=checkpoint_interval)
 
 
 def pmaxT(
@@ -157,8 +176,180 @@ def pmaxT(
     row_names: list[str] | None = None,
     checkpoint_dir: str | None = None,
     checkpoint_interval: int = 2_048,
+    cache=None,
+    cache_dir: str | None = None,
 ) -> MaxTResult | None:
     """Parallel Westfall–Young maxT permutation test (SPMD entry point).
+
+    ``X`` also accepts a :class:`~repro.mpi.datasets.PublishedDataset`
+    handle from ``session.publish(X, labels)``: the matrix then never
+    crosses the wire — workers map the published shared-memory segment
+    read-only — and ``classlabel`` defaults to the published labels.
+
+    ``cache``/``cache_dir`` enable the content-addressed result cache
+    (see :class:`~repro.core.checkpoint.ResultCache`): an identical
+    repeated analysis is answered from disk without computing anything,
+    and a request for a **larger** ``B`` of a cached analysis computes
+    only the new permutations ``[B_old, B_new)`` — bit-identical to a
+    cold run at ``B_new``, because permutation ``k`` of the
+    counter-based generators is independent of the total count.
+    Resolution order: ``cache`` (a ResultCache object) > ``cache_dir`` >
+    the session's cache (``open_session(..., cache_dir=...)``).  The raw
+    SPMD path (``comm=``) bypasses the cache: every rank is inside the
+    world there, so no single rank can orchestrate lookups.
+    """
+    if isinstance(X, PublishedDataset) and classlabel is None:
+        classlabel = X.labels
+    resolved_cache = cache
+    if resolved_cache is None and cache_dir is not None:
+        from .checkpoint import ResultCache
+
+        resolved_cache = ResultCache(cache_dir)
+    if resolved_cache is None and session is not None:
+        resolved_cache = session.cache
+    run_kwargs = dict(
+        test=test, side=side, fixed_seed_sampling=fixed_seed_sampling,
+        B=B, na=na, nonpara=nonpara, seed=seed, chunk_size=chunk_size,
+        complete_limit=complete_limit, dtype=dtype,
+        blas_threads=blas_threads, row_names=row_names,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+    )
+    if resolved_cache is None or comm is not None:
+        return _pmaxt_run(X, classlabel, comm=comm, backend=backend,
+                          ranks=ranks, session=session, **run_kwargs)
+    return _pmaxt_cached(resolved_cache, X, classlabel, backend=backend,
+                         ranks=ranks, session=session, **run_kwargs)
+
+
+def _result_from_counts(teststat: np.ndarray, counts: KernelCounts,
+                        options: MaxTOptions,
+                        row_names: list[str] | None,
+                        nranks: int) -> MaxTResult:
+    """Rebuild a full result from observed statistics + total counts.
+
+    The significance order and the untestable mask are deterministic
+    functions of the stored statistics (``side_adjust`` then a stable
+    argsort), so a cache hit reproduces the original run's p-values
+    bit-identically without touching the data.
+    """
+    teststat = np.asarray(teststat)
+    scores = side_adjust(teststat, options.side)
+    order = significance_order(scores)
+    rawp, adjp = pvalues_from_counts(
+        counts.raw, counts.adjusted, order, counts.nperm,
+        untestable=~np.isfinite(scores),
+    )
+    return MaxTResult(
+        teststat=teststat, rawp=rawp, adjp=adjp, order=order,
+        nperm=int(counts.nperm), test=options.test, side=options.side,
+        complete=options.complete, nranks=nranks, row_names=row_names,
+        counts=counts,
+    )
+
+
+def _pmaxt_cached(cache, X, classlabel, *, backend, ranks, session,
+                  **run_kwargs) -> MaxTResult:
+    """Cache orchestration: hit -> rebuild, partial -> extend, miss -> run."""
+    from .checkpoint import dataset_fingerprint, result_cache_key
+
+    if X is None or classlabel is None:
+        raise DataError("the master rank must supply X and classlabel")
+    options = validate_options(
+        classlabel,
+        test=run_kwargs["test"], side=run_kwargs["side"],
+        fixed_seed_sampling=run_kwargs["fixed_seed_sampling"],
+        B=run_kwargs["B"], na=run_kwargs["na"],
+        nonpara=run_kwargs["nonpara"], seed=run_kwargs["seed"],
+        chunk_size=run_kwargs["chunk_size"],
+        complete_limit=run_kwargs["complete_limit"],
+        dtype=run_kwargs["dtype"],
+    )
+    handle = X if isinstance(X, PublishedDataset) else None
+    if handle is not None and classlabel is handle.labels:
+        ds_fp = handle.fingerprint  # computed once at publish time
+    else:
+        source = handle.base_data() if handle is not None else X
+        ds_fp = dataset_fingerprint(source, classlabel)
+    key = result_cache_key(ds_fp, options)
+    row_names = run_kwargs["row_names"]
+    launch = dict(backend=backend, ranks=ranks, session=session)
+
+    entry = cache.lookup(key, options.nperm)
+    if entry is not None and entry.nperm == options.nperm:
+        cache.hits += 1
+        return _result_from_counts(
+            entry.teststat, entry.counts, options, row_names,
+            nranks=int(entry.meta.get("nranks", 1)))
+
+    meta = {
+        "test": options.test, "side": options.side,
+        "dtype": options.dtype, "seed": options.seed,
+        "complete": options.complete,
+        "n": int(np.asarray(classlabel).size),
+    }
+    if entry is not None and not options.complete:
+        # Incremental-B extension: the cached entry covers permutation
+        # indices [0, B_old); compute only [B_old, B_new) and sum — the
+        # counter-based keystream makes the union bit-identical to a
+        # cold run at B_new.
+        ext = _pmaxt_run(X, classlabel,
+                         perm_range=(entry.nperm, options.nperm),
+                         return_counts=True, **launch, **run_kwargs)
+        if not np.array_equal(ext.teststat, entry.teststat,
+                              equal_nan=True):
+            raise DataError(
+                "result-cache entry does not match this problem: the "
+                "observed statistics differ (stale or corrupted cache "
+                f"directory {cache.directory}); clear it and re-run")
+        combined = KernelCounts(
+            raw=entry.counts.raw + ext.counts.raw,
+            adjusted=entry.counts.adjusted + ext.counts.adjusted,
+            nperm=entry.counts.nperm + ext.counts.nperm,
+        )
+        cache.extensions += 1
+        meta["nranks"] = ext.nranks
+        meta["m"] = int(entry.teststat.size)
+        cache.save(key, options.nperm, entry.teststat, combined, meta)
+        result = _result_from_counts(entry.teststat, combined, options,
+                                     row_names, nranks=ext.nranks)
+        result.profile = ext.profile
+        return result
+
+    cache.misses += 1
+    result = _pmaxt_run(X, classlabel, **launch, **run_kwargs)
+    meta["nranks"] = result.nranks
+    meta["m"] = result.m
+    cache.save(key, options.nperm, result.teststat, result.counts, meta)
+    return result
+
+
+def _pmaxt_run(
+    X=None,
+    classlabel=None,
+    test: str = "t",
+    side: str = "abs",
+    fixed_seed_sampling: str = "y",
+    B: int = 10_000,
+    na: float = MT_NA_NUM,
+    nonpara: str = "n",
+    *,
+    comm: Communicator | None = None,
+    backend: str | None = None,
+    ranks: int | None = None,
+    session: BackendSession | None = None,
+    seed: int = DEFAULT_SEED,
+    chunk_size: int = DEFAULT_CHUNK,
+    complete_limit: int = DEFAULT_COMPLETE_LIMIT,
+    dtype: str = "float64",
+    blas_threads: int | None = None,
+    row_names: list[str] | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: int = 2_048,
+    perm_range: tuple | None = None,
+    return_counts: bool = False,
+) -> MaxTResult | _RangeCounts | None:
+    """The SPMD algorithm (cache-free half of :func:`pmaxT`).
 
     The interface is identical to :func:`~repro.core.maxt.mt_maxT` — the
     paper's headline usability claim — plus ``comm``, the MPI-substrate
@@ -207,8 +398,8 @@ def pmaxT(
     if backend is not None or ranks is not None or session is not None:
         from ..mpi.backends import launch_master
 
-        def _job(world_comm: Communicator) -> MaxTResult | None:
-            return pmaxT(
+        def _job(world_comm: Communicator) -> MaxTResult | _RangeCounts | None:
+            return _pmaxt_run(
                 X if world_comm.is_master else None,
                 classlabel if world_comm.is_master else None,
                 test=test, side=side,
@@ -218,6 +409,7 @@ def pmaxT(
                 dtype=dtype, row_names=row_names,
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_interval=checkpoint_interval,
+                perm_range=perm_range, return_counts=return_counts,
             )
 
         # The worker-rank half for a persistent session (jobs cross a
@@ -247,9 +439,15 @@ def pmaxT(
     timer = SectionTimer()
 
     # -- Step 1: master-side pre-processing --------------------------------
-    packed = None
+    payload = None
+    handle: PublishedDataset | None = None
+    data = labels = route = None
     with timer.section("pre_processing"):
         if master:
+            if isinstance(X, PublishedDataset):
+                handle = X
+                if classlabel is None:
+                    classlabel = handle.labels
             if X is None or classlabel is None:
                 raise DataError("the master rank must supply X and classlabel")
             options = validate_options(
@@ -265,16 +463,32 @@ def pmaxT(
                 complete_limit=complete_limit,
                 dtype=dtype,
             )
-            packed = _pack_options(options)
+            if handle is not None:
+                # Published dataset: resolve the variant whose bytes
+                # match this run's broadcast wire exactly (float64 keeps
+                # NA codes raw; float32 NaN-ifies them before the cast).
+                data, route = handle.resolve(
+                    options.dtype,
+                    options.na if options.dtype == "float32" else None)
+            payload = (_pack_options(options), route, perm_range,
+                       bool(return_counts))
 
     # -- Step 2: broadcast scalar parameters --------------------------------
     with timer.section("broadcast_parameters"):
-        packed = comm.bcast(packed, root=0)
+        packed, route, perm_range, return_counts = comm.bcast(payload, root=0)
         options = _unpack_options(packed)
+        if perm_range is None:
+            perm_range = (0, options.nperm)
+        range_start, range_stop = int(perm_range[0]), int(perm_range[1])
+        if not 0 <= range_start < range_stop <= options.nperm:
+            raise DataError(
+                f"invalid permutation range {perm_range!r} for "
+                f"nperm={options.nperm}")
+        span = range_stop - range_start
 
     # -- Step 3: broadcast + transform the input data ------------------------
     with timer.section("create_data"):
-        if master:
+        if master and handle is None:
             if options.dtype == "float64":
                 # Zero-copy for contiguous float64 input; NA codes travel
                 # as-is and every rank's statistic NaN-ifies them (the
@@ -288,16 +502,24 @@ def pmaxT(
                 # statistics would miss the missing cells.  The per-rank
                 # to_nan stays idempotent on the NaN-ified result.
                 data = to_nan(X, options.na)
+        if master:
             labels = np.ascontiguousarray(np.asarray(classlabel,
                                                      dtype=np.int64))
+        if route is not None:
+            # The matrix was published once into named shared memory:
+            # nothing to broadcast.  The master already holds its view;
+            # each worker maps the segment by name, memoised in its
+            # session-resident cache — a warm worker moves zero bytes.
+            if not master:
+                data = attach_published_view(route)
         else:
-            data = labels = None
-        # Array-aware collectives: the backend moves the matrix its own
-        # best way (zero-copy segments on "shm", pickled queues on
-        # "processes", the shared address space in-process).  The wire is
-        # dtype-aware: a float32 compute run ships float32 bytes — half
-        # the "create data" traffic — rather than casting after transfer.
-        data = comm.bcast_array(data, root=0, dtype=options.dtype)
+            # Array-aware collectives: the backend moves the matrix its
+            # own best way (zero-copy segments on "shm", pickled queues
+            # on "processes", the shared address space in-process).  The
+            # wire is dtype-aware: a float32 compute run ships float32
+            # bytes — half the "create data" traffic — rather than
+            # casting after transfer.
+            data = comm.bcast_array(data, root=0, dtype=options.dtype)
         labels = comm.bcast_array(labels, root=0)
         # Global sum synchronises all ranks and confirms allocation
         # succeeded everywhere (the paper's Step 3 "global sum").
@@ -309,19 +531,26 @@ def pmaxT(
     with timer.section("main_kernel"):
         stat = build_statistic(options, data, labels)
         observed = compute_observed(stat, options.side)
-        plan = partition_permutations(options.nperm, comm.size)
+        # Ranged runs (the cache's incremental-B extension) partition only
+        # the [range_start, range_stop) span; permutation i is the same
+        # pure function of (seed, i) either way, so a split run's counts
+        # sum to the cold run's bit-for-bit.
+        plan = partition_permutations(span, comm.size)
         chunk = plan.chunk_for(comm.rank)
+        g_start = range_start + chunk.start
+        includes_observed = (g_start == 0 and chunk.count > 0)
         if options.store:
             # Stored mode materialises only this rank's slice; the stored
             # generator replays with local indices, already "forwarded".
             generator = build_generator(
-                options, labels, store_slice=(chunk.start, chunk.count)
+                options, labels, store_slice=(g_start, chunk.count)
             )
             kernel_args = dict(start=0, count=chunk.count,
-                               first_is_observed=chunk.includes_observed)
+                               first_is_observed=includes_observed)
         else:
             generator = build_generator(options, labels)
-            kernel_args = dict(start=chunk.start, count=chunk.count)
+            kernel_args = dict(start=g_start, count=chunk.count,
+                               first_is_observed=includes_observed)
         if checkpoint_dir is None:
             # Under a session, each rank owns a resident KernelWorkspace
             # that survives across pmaxT calls: a warm call of the same
@@ -352,7 +581,7 @@ def pmaxT(
             )
 
             fingerprint = problem_fingerprint(
-                data, labels, options, chunk.start, chunk.count)
+                data, labels, options, g_start, chunk.count)
             store = CheckpointStore(checkpoint_dir, rank=comm.rank)
             counts = run_kernel_resumable(
                 stat, generator, observed, options.side,
@@ -363,33 +592,45 @@ def pmaxT(
             store.clear()
 
     # -- Step 5: gather counts, compute p-values -----------------------------
-    result: MaxTResult | None = None
+    result: MaxTResult | _RangeCounts | None = None
     with timer.section("compute_pvalues"):
         total_raw = comm.reduce_array(counts.raw, op=SUM, root=0)
         total_adj = comm.reduce_array(counts.adjusted, op=SUM, root=0)
         total_nperm = comm.reduce(counts.nperm, op=SUM, root=0)
         if master:
-            if total_nperm != options.nperm:  # pragma: no cover - defensive
+            if total_nperm != span:  # pragma: no cover - defensive
                 raise DataError(
                     f"permutation accounting error: executed {total_nperm}, "
-                    f"expected {options.nperm}"
+                    f"expected {span}"
                 )
-            rawp, adjp = pvalues_from_counts(
-                total_raw, total_adj, observed.order, options.nperm,
-                untestable=observed.untestable,
+            totals = KernelCounts(
+                raw=np.asarray(total_raw),
+                adjusted=np.asarray(total_adj),
+                nperm=int(total_nperm),
             )
-            result = MaxTResult(
-                teststat=observed.stats,
-                rawp=rawp,
-                adjp=adjp,
-                order=observed.order,
-                nperm=options.nperm,
-                test=options.test,
-                side=options.side,
-                complete=options.complete,
-                nranks=comm.size,
-                row_names=row_names,
-            )
+            if return_counts:
+                # The caller (the result cache) sums these with a prior
+                # run's counts; p-values are computed once at the end.
+                result = _RangeCounts(teststat=observed.stats, counts=totals,
+                                      nranks=comm.size)
+            else:
+                rawp, adjp = pvalues_from_counts(
+                    totals.raw, totals.adjusted, observed.order,
+                    options.nperm, untestable=observed.untestable,
+                )
+                result = MaxTResult(
+                    teststat=observed.stats,
+                    rawp=rawp,
+                    adjp=adjp,
+                    order=observed.order,
+                    nperm=options.nperm,
+                    test=options.test,
+                    side=options.side,
+                    complete=options.complete,
+                    nranks=comm.size,
+                    row_names=row_names,
+                    counts=totals,
+                )
 
     # -- Step 6: free memory (implicit) + attach the profile -----------------
     if result is not None:

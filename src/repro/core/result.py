@@ -48,6 +48,11 @@ class MaxTResult:
     nranks: int = 1
     #: Optional row names carried through from the input.
     row_names: list[str] | None = field(default=None, repr=False)
+    #: World-total exceedance counts (a
+    #: :class:`~repro.core.kernel.KernelCounts`; ``adjusted`` in
+    #: significance order).  Attached by ``pmaxT`` so the result cache can
+    #: persist and later *extend* the run without recomputation.
+    counts: object | None = field(default=None, repr=False)
 
     @property
     def m(self) -> int:

@@ -19,6 +19,7 @@ import numpy as np
 from ..core.partition import partition_permutations
 from ..errors import DataError
 from ..mpi import Communicator, SerialComm
+from ..mpi.datasets import PublishedDataset, attach_published_view
 from ..mpi.session import BackendSession
 from .serial import cor
 
@@ -65,7 +66,10 @@ def pcor(X=None, Y=None, *, use: str = "everything",
 
     For repeated calls, ``session=`` (from :func:`repro.mpi.open_session`)
     dispatches over a resident worker pool instead of launching a fresh
-    world per call.
+    world per call.  ``X`` additionally accepts a
+    :class:`~repro.mpi.datasets.PublishedDataset` handle from
+    ``session.publish``: the matrix then never crosses the wire — workers
+    map the published segment read-only.
     """
     if backend is not None or ranks is not None or session is not None:
         from ..mpi.backends import launch_master
@@ -81,16 +85,27 @@ def pcor(X=None, Y=None, *, use: str = "everything",
 
     if comm is None:
         comm = SerialComm()
+    route = None
     if comm.is_master:
         if X is None:
             raise DataError("the master rank must supply X")
-        X = np.asarray(X, dtype=np.float64)
+        if isinstance(X, PublishedDataset):
+            # Published dataset: consume the float64 base variant in
+            # place and ship only the segment descriptor (see
+            # :mod:`repro.mpi.datasets`).
+            X, route = X.resolve("float64", None)
+        else:
+            X = np.asarray(X, dtype=np.float64)
         Y = None if Y is None else np.asarray(Y, dtype=np.float64)
-        meta = (Y is not None, use, na)
+        meta = (Y is not None, use, na, route)
     else:
         meta = None
-    has_Y, use, na = comm.bcast(meta, root=0)
-    X = comm.bcast_array(X if comm.is_master else None, root=0)
+    has_Y, use, na, route = comm.bcast(meta, root=0)
+    if route is not None:
+        if not comm.is_master:
+            X = attach_published_view(route)
+    else:
+        X = comm.bcast_array(X if comm.is_master else None, root=0)
     if has_Y:
         Y = comm.bcast_array(Y if comm.is_master else None, root=0)
     else:

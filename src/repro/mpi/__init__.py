@@ -65,6 +65,7 @@ from .blasctl import (
     set_blas_threads,
 )
 from .comm import MAX, MIN, SUM, Communicator, ReduceOp
+from .datasets import DatasetRegistry, PublishedDataset, attach_published_view
 from .processes import ProcessComm, run_spmd_processes
 from .serial import SerialComm
 from .session import (
@@ -105,6 +106,9 @@ __all__ = [
     "EphemeralSession",
     "WorkerPoolSession",
     "resident_cache",
+    "PublishedDataset",
+    "DatasetRegistry",
+    "attach_published_view",
     "blas_available",
     "blas_thread_limit",
     "get_blas_threads",

@@ -225,19 +225,30 @@ def open_session(backend: str | Backend | None = None,
                  ranks: int | None = None, *,
                  blas_threads: int | None = None,
                  idle_timeout: float | None = None,
-                 job_timeout: float | None = None) -> BackendSession:
+                 job_timeout: float | None = None,
+                 cache_dir: str | None = None) -> BackendSession:
     """Open a persistent SPMD world for repeated dispatch.
 
     The service-style entry point (see :mod:`repro.mpi.session`)::
 
         with open_session("shm", ranks=8) as session:
-            for X, labels in requests:
-                result = pmaxT(X, labels, B=10_000, session=session)
+            handle = session.publish(X, labels)
+            for request in requests:
+                result = pmaxT(handle, B=request.B, session=session)
 
     The first call spawns the worker pool; every later call reuses it —
     no process spawns, warm queues, resident per-rank kernel workspaces.
     For in-process backends the returned session is ephemeral (threads
     are cheap to stand up) but still carries the resident caches.
+
+    ``session.publish(X, labels)`` writes a matrix into the session's
+    dataset registry once; passing the returned handle as later calls'
+    ``X`` removes the per-call broadcast (see :mod:`repro.mpi.datasets`).
+
+    ``cache_dir`` attaches a content-addressed
+    :class:`~repro.core.checkpoint.ResultCache` to the session: ``pmaxT``
+    calls dispatched over it return repeated analyses as pure cache hits
+    and extend cached runs to larger ``B`` incrementally.
 
     ``blas_threads`` fixes the per-rank BLAS policy for the session's
     lifetime; ``idle_timeout`` tears a persistent pool down after that
@@ -246,9 +257,14 @@ def open_session(backend: str | Backend | None = None,
     """
     spec = DEFAULT_BACKEND if backend is None else backend
     nranks = 1 if ranks is None else int(ranks)
-    return resolve_backend(spec).open_session(
+    session = resolve_backend(spec).open_session(
         nranks, blas_threads=blas_threads, idle_timeout=idle_timeout,
         job_timeout=job_timeout)
+    if cache_dir is not None:
+        from ..core.checkpoint import ResultCache
+
+        session.cache = ResultCache(cache_dir)
+    return session
 
 
 def launch_master(backend: str | Backend | None, ranks: int | None,

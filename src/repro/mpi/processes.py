@@ -79,6 +79,11 @@ class ProcessComm(Communicator):
         self._inboxes = inboxes
         self._timeout = timeout
         self._stash: list[tuple] = []  # out-of-order messages
+        #: Root-side tally of array-broadcast payload bytes shipped to
+        #: workers (``nbytes`` x receivers per ``bcast_array``).  The
+        #: dataset registry's acceptance test reads it to prove that a
+        #: published matrix crosses the wire zero times per call.
+        self.array_bytes = 0
         # Collective sequence number.  Every rank executes the same
         # collective sequence (SPMD), so numbering the operations keeps
         # back-to-back collectives of the same kind from racing: a fast
@@ -202,6 +207,7 @@ class ProcessComm(Communicator):
             else:
                 arr = np.ascontiguousarray(arr, dtype=np.dtype(dtype))
             wire = _to_wire(arr)
+            self.array_bytes += arr.nbytes * (self._size - 1)
             for dest in range(self._size):
                 if dest != root:
                     self._put(dest, "bcast-arr", seq, wire)

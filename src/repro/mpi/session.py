@@ -118,6 +118,12 @@ class BackendSession(ABC):
 
     #: Registry name of the backend this session runs on.
     backend_name: str = "?"
+    #: Result cache attached by ``open_session(..., cache_dir=...)`` (a
+    #: :class:`~repro.core.checkpoint.ResultCache`); ``pmaxT`` calls
+    #: dispatched over this session consult it automatically.
+    cache: Any = None
+    #: Lazily created dataset registry backing :meth:`publish`.
+    _datasets: Any = None
 
     @property
     @abstractmethod
@@ -152,6 +158,61 @@ class BackendSession(ABC):
         """PIDs of the resident worker processes (empty when in-process)."""
         return []
 
+    # -- dataset registry --------------------------------------------------
+
+    def publish(self, X: Any, labels: Any = None):
+        """Publish a matrix once; pass the returned handle as later ``X``.
+
+        The matrix (and any on-demand dtype/NA variants) is written into
+        the session's dataset registry — shared-memory segments for
+        process-type sessions, read-only arrays in-process — and
+        subsequent ``pmaxT``/``pcor`` calls over this session accept the
+        :class:`~repro.mpi.datasets.PublishedDataset` in place of the
+        matrix, eliminating the per-call broadcast entirely.  Published
+        segments live until :meth:`close` (or GC) and survive worker-pool
+        respawns (a fresh pool simply re-maps them on first use).
+        """
+        self._assert_open()
+        if self._datasets is None:
+            from .datasets import DatasetRegistry
+
+            self._datasets = DatasetRegistry(use_shm=self._publish_via_shm())
+        return self._datasets.publish(X, labels)
+
+    def _publish_via_shm(self) -> bool:
+        """Whether :meth:`publish` writes shared-memory segments."""
+        return False
+
+    def _drop_datasets(self) -> None:
+        """Unlink every published dataset (part of :meth:`close`)."""
+        registry, self._datasets = self._datasets, None
+        if registry is not None:
+            registry.close()
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counter snapshot: jobs, publishes, cache traffic, bytes resident."""
+        stats: dict[str, Any] = {
+            "backend": self.backend_name,
+            "ranks": self.ranks,
+            "closed": self.closed,
+            "jobs_run": getattr(self, "jobs_run", 0),
+            "publishes": 0,
+            "datasets": 0,
+            "published_bytes": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_extended": 0,
+        }
+        if self._datasets is not None:
+            stats["publishes"] = self._datasets.publishes
+            stats["datasets"] = len(self._datasets)
+            stats["published_bytes"] = self._datasets.bytes_resident()
+        if self.cache is not None:
+            stats.update(self.cache.stats())
+        return stats
+
     def _assert_open(self) -> None:
         if self.closed:
             raise CommunicatorError(
@@ -166,9 +227,19 @@ class BackendSession(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self.closed else "open"
+        stats = self.stats()
+        extras = [f"jobs={stats['jobs_run']}"]
+        if stats["publishes"]:
+            extras.append(
+                f"published={stats['datasets']} "
+                f"({stats['published_bytes']} B)")
+        if self.cache is not None:
+            extras.append(
+                f"cache={stats['cache_hits']}h/{stats['cache_misses']}m/"
+                f"{stats['cache_extended']}x")
         return (
             f"{type(self).__name__}(backend={self.backend_name!r}, "
-            f"ranks={self.ranks}, {state})"
+            f"ranks={self.ranks}, {state}, {', '.join(extras)})"
         )
 
 
@@ -228,6 +299,13 @@ class EphemeralSession(BackendSession):
 
     def close(self) -> None:
         self._closed = True
+        self._drop_datasets()
+
+    def _publish_via_shm(self) -> bool:
+        # Fork-type one-shot worlds inherit nothing between jobs, so a
+        # published dataset must live in named shared memory for the next
+        # job's ranks to find it; in-process worlds share the view itself.
+        return not self._backend.in_process
 
     def _compose(
         self, fn: SpmdFunction, worker_fn: SpmdFunction | None
@@ -499,6 +577,18 @@ class WorkerPoolSession(BackendSession):
                 return []
             return [p.pid for p in self._procs]
 
+    def _publish_via_shm(self) -> bool:
+        return True
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["spawns"] = self.spawns
+        stats["warm"] = self.warm
+        comm = self._master_comm
+        stats["bcast_array_bytes"] = (
+            getattr(comm, "array_bytes", 0) if comm is not None else 0)
+        return stats
+
     # -- dispatch ----------------------------------------------------------
 
     def run(
@@ -721,6 +811,9 @@ class WorkerPoolSession(BackendSession):
             self._closed = True
             self._cancel_idle_timer()
             self._teardown_pool(graceful=True)
+            # After the workers are gone: their mappings of published
+            # segments are released, so the unlink frees the pages too.
+            self._drop_datasets()
 
     # -- idle teardown -----------------------------------------------------
 

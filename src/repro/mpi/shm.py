@@ -124,8 +124,12 @@ class ShmComm(ProcessComm):
             else:
                 arr = np.ascontiguousarray(arr, dtype=np.dtype(dtype))
             if arr.nbytes < SHM_THRESHOLD_BYTES:
+                self.array_bytes += arr.nbytes * (self.size - 1)
                 self.bcast(("wire", *_to_wire(arr)), root=root)
                 return arr
+            # The segment route moves the payload once (root memcpy into
+            # the segment), regardless of world size.
+            self.array_bytes += arr.nbytes
             segment, meta = self._share(arr)
             try:
                 self.bcast(("shm", *meta), root=root)

@@ -79,6 +79,7 @@ class SprintSession:
         self._workers: list[threading.Thread] = []
         self._worker_errors: list[BaseException] = []
         self._master: MasterHandle | None = None
+        self._datasets = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -110,6 +111,9 @@ class SprintSession:
         return self
 
     def close(self) -> None:
+        if self._datasets is not None:
+            self._datasets, registry = None, self._datasets
+            registry.close()
         if self._master is not None:
             self._master.shutdown()
             self._master = None
@@ -140,8 +144,32 @@ class SprintSession:
             raise SprintError("session not started; use `with SprintSession(...)`")
         return self._master.call(name, *args, **kwargs)
 
-    def pmaxT(self, X, classlabel, **kwargs: Any):
-        """The paper's function: parallel maxT over this session's world."""
+    def publish(self, X, labels=None):
+        """Publish a dataset once for repeated analyses in this session.
+
+        The session's world is in-process (the defining feature of
+        :class:`SprintSession`), so the registry keeps plain read-only
+        arrays — broadcast is already zero-copy here — and publishing
+        buys the stable fingerprint, the frozen snapshot, and the cached
+        dtype variants.  Pass the returned handle in place of ``X``::
+
+            h = sprint.publish(X, labels=y)
+            result = sprint.pmaxT(h, B=150_000)
+        """
+        if self._master is None:
+            raise SprintError("session not started; use `with SprintSession(...)`")
+        if self._datasets is None:
+            from ..mpi.datasets import DatasetRegistry
+
+            self._datasets = DatasetRegistry(use_shm=False)
+        return self._datasets.publish(X, labels=labels)
+
+    def pmaxT(self, X, classlabel=None, **kwargs: Any):
+        """The paper's function: parallel maxT over this session's world.
+
+        ``classlabel`` may be omitted when ``X`` is a published-dataset
+        handle carrying labels (see :meth:`publish`).
+        """
         return self.call("pmaxT", X, classlabel, **kwargs)
 
     @property

@@ -57,6 +57,69 @@ class TestFingerprint:
         assert problem_fingerprint(X, labels, o3, 0, 50) != base
 
 
+class TestGoldenFingerprints:
+    """Pin the digests to literal values across library versions.
+
+    These digests address on-disk state (checkpoints, cache entries); a
+    change silently strands every existing entry — exactly what happened
+    to float32 checkpoints once before.  The inputs are deterministic
+    ``arange``-based arrays, independent of any data generator.  If one
+    of these asserts fails, the fingerprint function changed: either
+    revert the change or ship a cache-format version bump with it.
+    """
+
+    X = (np.arange(60, dtype=np.float64).reshape(6, 10) * 0.5 - 7.25)
+    y = np.array([0, 0, 0, 1, 1, 1, 0, 1, 0, 1], dtype=np.int64)
+    OPTS = dict(test="t", side="abs", fixed_seed_sampling="y", B=512,
+                na=-93074815.0, nonpara="n", seed=12345, chunk_size=64,
+                complete_limit=0)
+
+    def test_problem_fingerprint_float64(self):
+        o = validate_options(self.y, dtype="float64", **self.OPTS)
+        assert problem_fingerprint(self.X, self.y, o, 0, 512) == (
+            "0bdbd5c291beb1546d99e6aa2daaa2f7d583e90d097d054f4dbeb1a006d185f4")
+
+    def test_problem_fingerprint_float32(self):
+        o = validate_options(self.y, dtype="float32", **self.OPTS)
+        X32 = np.ascontiguousarray(self.X, dtype=np.float32)
+        assert problem_fingerprint(X32, self.y, o, 0, 512) == (
+            "0f57dd3cdd610ac5e5b63938900ae92cf60d3cc9053d022ebf68da391c34b714")
+
+    def test_problem_fingerprint_ranged(self):
+        o = validate_options(self.y, dtype="float64", **self.OPTS)
+        assert problem_fingerprint(self.X, self.y, o, 128, 64) == (
+            "016144ab36a0186d90e8c40e45e0d80e52aa92fc34e244f26e529f4e5e7e160d")
+
+    def test_dataset_fingerprint(self):
+        from repro.core.checkpoint import dataset_fingerprint
+
+        assert dataset_fingerprint(self.X, self.y) == (
+            "ae20b5ec3a752e216332896612a75cab91cb8e723f2f6b1cd2a6aca4fbd3095f")
+        assert dataset_fingerprint(self.X) == (
+            "eb6fc040a847ee66003d7bd603456e857ab3538c8fd5ce4e630ad9105c856d18")
+
+    def test_dataset_fingerprint_dtype_canonical(self):
+        # The dataset fingerprint is float64-canonical: a float32 view of
+        # exactly-representable data shares the digest (dtype is keyed in
+        # the result-cache key instead).
+        from repro.core.checkpoint import dataset_fingerprint
+
+        X32 = np.ascontiguousarray(self.X, dtype=np.float32)
+        assert dataset_fingerprint(X32, self.y) == \
+            dataset_fingerprint(self.X, self.y)
+
+    def test_result_cache_key(self):
+        from repro.core.checkpoint import dataset_fingerprint, result_cache_key
+
+        fp = dataset_fingerprint(self.X, self.y)
+        o64 = validate_options(self.y, dtype="float64", **self.OPTS)
+        o32 = validate_options(self.y, dtype="float32", **self.OPTS)
+        assert result_cache_key(fp, o64) == (
+            "1cf466f0c619803dc806e1bdd6af149448646006793f79a16dae2958ffe898f9")
+        assert result_cache_key(fp, o32) == (
+            "6ea3b1eeea59a1685c872d9ae871bf25498677e4a10ba7a3d4bb90e1203b2c25")
+
+
 class TestStore:
     def test_save_load_roundtrip(self, tmp_path, problem):
         *_, observed, fp = problem

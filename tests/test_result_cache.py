@@ -1,0 +1,226 @@
+"""Content-addressed result cache: hits, incremental-B extension, keys.
+
+The headline claims pinned here:
+
+* an exact repeat of an analysis is a pure cache hit — bit-identical
+  result, no kernel work (``jobs_run`` does not move under a session);
+* a larger-``B`` request reuses the cached counts and computes only
+  ``[B_old, B_new)``, bit-identical to a cold run at ``B_new`` — on the
+  serial path, across backends, in float32, and in stored-permutation
+  mode;
+* the cache key separates every option that changes the answer and
+  shares across ones that don't (``B`` is an extension axis, not a key).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    ResultCache,
+    dataset_fingerprint,
+    result_cache_key,
+)
+from repro.core.options import validate_options
+from repro.core.pmaxt import pmaxT
+from repro.mpi import open_session
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(50, 12))
+    labels = np.array([0] * 6 + [1] * 6, dtype=np.int64)
+    return X, labels
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _same(a, b):
+    assert np.array_equal(a.teststat, b.teststat, equal_nan=True)
+    assert np.array_equal(a.rawp, b.rawp, equal_nan=True)
+    assert np.array_equal(a.adjp, b.adjp, equal_nan=True)
+    assert np.array_equal(a.order, b.order)
+    assert a.nperm == b.nperm
+
+
+class TestExactHit:
+    def test_hit_is_bit_identical(self, dataset, cache):
+        X, y = dataset
+        cold = pmaxT(X, y, B=200, seed=7)
+        first = pmaxT(X, y, B=200, seed=7, cache=cache)
+        hit = pmaxT(X, y, B=200, seed=7, cache=cache)
+        _same(first, cold)
+        _same(hit, cold)
+        assert (cache.hits, cache.misses, cache.extensions) == (1, 1, 0)
+
+    def test_hit_dispatches_no_job(self, dataset, cache):
+        X, y = dataset
+        with open_session("threads", 2) as ses:
+            h = ses.publish(X, labels=y)
+            pmaxT(h, B=150, seed=2, session=ses, cache=cache)
+            jobs = ses.jobs_run
+            out = pmaxT(h, B=150, seed=2, session=ses, cache=cache)
+            assert ses.jobs_run == jobs  # answered from disk
+        _same(out, pmaxT(X, y, B=150, seed=2))
+
+    def test_cache_dir_parameter(self, dataset, tmp_path):
+        X, y = dataset
+        d = str(tmp_path / "c2")
+        pmaxT(X, y, B=100, seed=1, cache_dir=d)
+        out = pmaxT(X, y, B=100, seed=1, cache_dir=d)
+        _same(out, pmaxT(X, y, B=100, seed=1))
+
+    def test_session_cache_dir(self, dataset, tmp_path):
+        X, y = dataset
+        with open_session("threads", 2,
+                          cache_dir=str(tmp_path / "c3")) as ses:
+            pmaxT(X, y, B=100, seed=1, session=ses)
+            out = pmaxT(X, y, B=100, seed=1, session=ses)
+            stats = ses.stats()
+            assert stats["cache_hits"] == 1
+            assert stats["cache_misses"] == 1
+        _same(out, pmaxT(X, y, B=100, seed=1))
+
+    def test_complete_enumeration_hit(self, cache):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(20, 8))
+        y = np.array([0] * 4 + [1] * 4)
+        cold = pmaxT(X, y, B=0)
+        assert cold.complete
+        pmaxT(X, y, B=0, cache=cache)
+        hit = pmaxT(X, y, B=0, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        _same(hit, cold)
+
+
+class TestIncrementalB:
+    def test_extension_matches_cold_run(self, dataset, cache):
+        # Bs stay below C(12,6)=924 so random sampling (not complete
+        # enumeration) is in effect on every call.
+        X, y = dataset
+        pmaxT(X, y, B=400, seed=7, cache=cache)
+        ext = pmaxT(X, y, B=800, seed=7, cache=cache)
+        cold = pmaxT(X, y, B=800, seed=7)
+        _same(ext, cold)
+        assert cache.extensions == 1
+        # the extended entry now serves exact hits
+        hit = pmaxT(X, y, B=800, seed=7, cache=cache)
+        _same(hit, cold)
+        assert cache.hits == 1
+
+    @pytest.mark.parametrize("backend,ranks", [("threads", 3), ("shm", 2)])
+    def test_extension_parallel(self, dataset, cache, backend, ranks):
+        X, y = dataset
+        cold = pmaxT(X, y, B=600, seed=9)
+        with open_session(backend, ranks) as ses:
+            h = ses.publish(X, labels=y)
+            pmaxT(h, B=250, seed=9, session=ses, cache=cache)
+            ext = pmaxT(h, B=600, seed=9, session=ses, cache=cache)
+        _same(ext, cold)
+        assert cache.extensions == 1
+
+    def test_extension_float32(self, dataset, cache):
+        X, y = dataset
+        pmaxT(X, y, B=300, seed=5, dtype="float32", cache=cache)
+        ext = pmaxT(X, y, B=700, seed=5, dtype="float32", cache=cache)
+        _same(ext, pmaxT(X, y, B=700, seed=5, dtype="float32"))
+
+    def test_extension_stored_mode(self, dataset, cache):
+        X, y = dataset
+        pmaxT(X, y, B=200, seed=5, fixed_seed_sampling="n", cache=cache)
+        ext = pmaxT(X, y, B=500, seed=5, fixed_seed_sampling="n",
+                    cache=cache)
+        _same(ext, pmaxT(X, y, B=500, seed=5, fixed_seed_sampling="n"))
+        assert cache.extensions == 1
+
+    def test_chained_extensions(self, dataset, cache):
+        X, y = dataset
+        pmaxT(X, y, B=150, seed=7, cache=cache)
+        pmaxT(X, y, B=400, seed=7, cache=cache)
+        out = pmaxT(X, y, B=800, seed=7, cache=cache)
+        _same(out, pmaxT(X, y, B=800, seed=7))
+        assert cache.extensions == 2
+
+    def test_smaller_b_is_not_served_from_larger(self, dataset, cache):
+        # A B=500 entry must not answer a B=200 request (the adjusted
+        # counts are not a prefix in significance space) — it's a miss.
+        X, y = dataset
+        pmaxT(X, y, B=500, seed=7, cache=cache)
+        out = pmaxT(X, y, B=200, seed=7, cache=cache)
+        _same(out, pmaxT(X, y, B=200, seed=7))
+        assert cache.misses == 2
+
+
+class TestKeying:
+    def test_key_separates_answer_changing_options(self, dataset):
+        X, y = dataset
+        fp = dataset_fingerprint(X, np.asarray(y, dtype=np.int64))
+        base = dict(test="t", side="abs", fixed_seed_sampling="y", B=500,
+                    na=-93074815.0, nonpara="n", seed=1, chunk_size=128,
+                    complete_limit=0, dtype="float64")
+        key = result_cache_key(fp, validate_options(y, **base))
+        for change in (dict(test="wilcoxon"), dict(side="upper"),
+                       dict(seed=2), dict(dtype="float32"),
+                       dict(fixed_seed_sampling="n"), dict(nonpara="y")):
+            other = result_cache_key(
+                fp, validate_options(y, **{**base, **change}))
+            assert other != key, change
+        # non-answer-changing knobs share the key: B (extension axis)
+        # and chunk_size (pure blocking detail)
+        for change in (dict(B=900), dict(chunk_size=64)):
+            other = result_cache_key(
+                fp, validate_options(y, **{**base, **change}))
+            assert other == key, change
+
+    def test_different_data_different_key(self, dataset, cache):
+        X, y = dataset
+        pmaxT(X, y, B=200, seed=7, cache=cache)
+        out = pmaxT(X * 1.5, y, B=200, seed=7, cache=cache)
+        _same(out, pmaxT(X * 1.5, y, B=200, seed=7))
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_published_fingerprint_matches_raw(self, dataset):
+        X, y = dataset
+        from repro.mpi.datasets import DatasetRegistry
+
+        registry = DatasetRegistry(use_shm=False)
+        h = registry.publish(X, labels=y)
+        assert h.fingerprint == dataset_fingerprint(
+            np.ascontiguousarray(X), np.asarray(y, dtype=np.int64))
+        registry.close()
+
+
+class TestStore:
+    def test_entries_and_clear(self, dataset, cache):
+        X, y = dataset
+        pmaxT(X, y, B=100, seed=1, cache=cache)
+        pmaxT(X, y, B=100, seed=2, cache=cache)
+        entries = cache.entries()
+        assert len(entries) == 2
+        assert {e.nperm for e in entries} == {100}
+        assert all(e.meta["test"] == "t" for e in entries)
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_stats_dict(self, dataset, cache):
+        X, y = dataset
+        pmaxT(X, y, B=100, seed=1, cache=cache)
+        pmaxT(X, y, B=100, seed=1, cache=cache)
+        pmaxT(X, y, B=300, seed=1, cache=cache)
+        stats = cache.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+        assert stats["cache_extended"] == 1
+
+    def test_comm_path_bypasses_cache(self, dataset, cache):
+        # Raw SPMD worlds can't orchestrate lookups; the cache is
+        # silently bypassed rather than half-applied.
+        from repro.mpi import SerialComm
+
+        X, y = dataset
+        out = pmaxT(X, y, B=100, seed=1, comm=SerialComm(), cache=cache)
+        _same(out, pmaxT(X, y, B=100, seed=1))
+        assert (cache.hits, cache.misses, cache.extensions) == (0, 0, 0)
