@@ -1,0 +1,144 @@
+"""CI smoke test: the service front-end, end to end, over real HTTP.
+
+Starts ``repro-maxt serve`` as a subprocess (the way an operator would),
+waits for ``/healthz``, submits a pmaxT analysis through
+:class:`~repro.serve.client.ServiceClient`, polls it to completion and
+asserts the wire result is **bit-identical** to a direct in-process
+``pmaxT()`` run — the service tier must never change an answer.  Also
+checks ``/statsz`` reports the configured pools and the completed job.
+
+Exit status 0 = all checks passed, 1 = any failure (the CI service-smoke
+job gates on it)::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+    PYTHONPATH=src python benchmarks/service_smoke.py --pools 4 --b 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import pmaxT
+from repro.data import synthetic_expression, two_class_labels
+from repro.serve import ServiceClient
+
+DEFAULT_GENES = 400
+DEFAULT_SAMPLES = 32
+DEFAULT_B = 1_000
+DEFAULT_POOLS = 2
+DEFAULT_RANKS = 2
+DEFAULT_BACKEND = "threads"
+
+_LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def _start_server(pools: int, ranks: int, backend: str) -> tuple:
+    """Launch ``repro-maxt serve --port 0``; return (process, base_url)."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--pools", str(pools), "--ranks", str(ranks),
+         "--backend", backend],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # The serve banner names the bound address (port 0 picks a free one).
+    line = proc.stdout.readline()
+    match = _LISTEN_RE.search(line)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"no listen banner from the server: {line!r}")
+    return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+
+def _wait_healthy(client: ServiceClient, deadline_s: float = 30.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while True:
+        try:
+            if client.healthz() == {"status": "ok"}:
+                return
+        except Exception:
+            if time.monotonic() >= deadline:
+                raise
+        time.sleep(0.1)
+
+
+def run_smoke(genes: int, samples: int, B: int, pools: int, ranks: int,
+              backend: str) -> int:
+    X, _ = synthetic_expression(
+        genes, samples, n_class1=samples // 2, de_fraction=0.1, seed=5)
+    labels = two_class_labels(samples // 2, samples - samples // 2)
+    direct = pmaxT(X, labels, B=B, seed=17)
+
+    proc, base_url = _start_server(pools, ranks, backend)
+    try:
+        client = ServiceClient(base_url)
+        _wait_healthy(client)
+        print(f"healthz ok at {base_url}")
+
+        submitted = client.submit_pmaxt(X, labels, B=B, seed=17)
+        print(f"submitted {submitted['id']} (state {submitted['state']})")
+        doc = client.wait(submitted["id"], timeout=300)
+        result = doc["result"]
+
+        # JSON float round-trip is exact for finite doubles: the wire
+        # result must equal the in-process one bit for bit.
+        checks = {
+            "teststat": result["teststat"] == direct.teststat.tolist(),
+            "rawp": result["rawp"] == direct.rawp.tolist(),
+            "adjp": result["adjp"] == direct.adjp.tolist(),
+            "order": result["order"] == direct.order.tolist(),
+            "nperm": result["nperm"] == direct.nperm,
+        }
+        for name, ok in checks.items():
+            print(f"bit-identity {name}: {'ok' if ok else 'MISMATCH'}")
+        if not all(checks.values()):
+            return 1
+        sig = int(np.sum(direct.adjp <= 0.05))
+        print(f"pmaxT {genes}x{samples} B={doc['result']['nperm']}: "
+              f"{sig} genes at FWER 0.05, served by pool {doc['pool']}")
+
+        stats = client.statsz()
+        if stats["pools"] != pools or stats["jobs_done"] < 1:
+            print(f"statsz MISMATCH: {stats}")
+            return 1
+        print(f"statsz ok: pools={stats['pools']} "
+              f"jobs_done={stats['jobs_done']} "
+              f"jobs_per_s={stats['jobs_per_s']:.2f}")
+        print("service smoke: PASS")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="End-to-end service smoke: serve subprocess, HTTP "
+        "submit/poll, bit-identity vs direct pmaxT.")
+    parser.add_argument("--genes", type=int, default=DEFAULT_GENES)
+    parser.add_argument("--samples", type=int, default=DEFAULT_SAMPLES)
+    parser.add_argument("--b", type=int, default=DEFAULT_B, dest="B")
+    parser.add_argument("--pools", type=int, default=DEFAULT_POOLS)
+    parser.add_argument("--ranks", type=int, default=DEFAULT_RANKS)
+    parser.add_argument("--backend", default=DEFAULT_BACKEND)
+    args = parser.parse_args(argv)
+    return run_smoke(args.genes, args.samples, args.B, args.pools,
+                     args.ranks, args.backend)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,8 +30,14 @@ import json
 import os
 import tempfile
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback: no locking
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -235,6 +241,14 @@ class ResultCache:
     Writes reuse the checkpoint machinery's atomic pattern
     (write-to-temp + ``os.replace``), so a crash mid-save can never leave
     a half-written entry that a later lookup would trust.
+
+    Cross-process coordination uses an advisory ``flock`` on a
+    ``.cache.lock`` file in the directory: readers and writers take it
+    shared (atomic replace already orders them against each other),
+    :meth:`clear` takes it exclusive — so a concurrent reader can never
+    observe a half-cleared directory (e.g. an entry listed by the glob
+    but unlinked before its load).  On platforms without ``fcntl`` the
+    lock degrades to a no-op.
     """
 
     def __init__(self, directory: str | Path):
@@ -248,6 +262,24 @@ class ResultCache:
     def _path(self, key: str, nperm: int) -> Path:
         return self.directory / f"maxt-{key}-B{int(nperm)}.npz"
 
+    @contextmanager
+    def _dir_lock(self, *, exclusive: bool):
+        """Advisory directory lock (shared for access, exclusive for clear).
+
+        Each acquisition opens its own descriptor, so the lock coordinates
+        threads of one process and separate processes alike; it is released
+        (and the descriptor closed) on exit even if the body raises.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(self.directory / ".cache.lock", "a+b") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
     def save(self, key: str, nperm: int, teststat: np.ndarray,
              counts: KernelCounts, meta: dict | None = None) -> Path:
         """Atomically persist one entry; returns its path."""
@@ -259,24 +291,25 @@ class ResultCache:
         record.setdefault("created", time.time())
         record["nperm"] = int(nperm)
         path = self._path(key, nperm)
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez(
-                    fh,
-                    key=np.frombuffer(key.encode(), dtype=np.uint8),
-                    nperm=np.int64(nperm),
-                    teststat=np.asarray(teststat),
-                    raw=np.asarray(counts.raw),
-                    adjusted=np.asarray(counts.adjusted),
-                    meta=np.frombuffer(
-                        json.dumps(record).encode(), dtype=np.uint8),
-                )
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        with self._dir_lock(exclusive=False):
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(
+                        fh,
+                        key=np.frombuffer(key.encode(), dtype=np.uint8),
+                        nperm=np.int64(nperm),
+                        teststat=np.asarray(teststat),
+                        raw=np.asarray(counts.raw),
+                        adjusted=np.asarray(counts.adjusted),
+                        meta=np.frombuffer(
+                            json.dumps(record).encode(), dtype=np.uint8),
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
         return path
 
     def _load(self, path: Path) -> CachedResult:
@@ -299,40 +332,48 @@ class ResultCache:
         The caller distinguishes the two by comparing ``entry.nperm`` to
         the request; ``None`` means a cold run is required.
         """
-        exact = self._path(key, nperm)
-        if exact.exists():
-            return self._load(exact)
-        best = 0
-        prefix = f"maxt-{key}-B"
-        for path in self.directory.glob(f"{prefix}*.npz"):
+        with self._dir_lock(exclusive=False):
+            exact = self._path(key, nperm)
+            if exact.exists():
+                return self._load(exact)
+            best = 0
+            prefix = f"maxt-{key}-B"
+            for path in self.directory.glob(f"{prefix}*.npz"):
+                try:
+                    found = int(path.name[len(prefix):-len(".npz")])
+                except ValueError:  # pragma: no cover - foreign file
+                    continue
+                if best < found < nperm:
+                    best = found
+            if best == 0:
+                return None
             try:
-                found = int(path.name[len(prefix):-len(".npz")])
-            except ValueError:  # pragma: no cover - foreign file
-                continue
-            if best < found < nperm:
-                best = found
-        if best == 0:
-            return None
-        try:
-            return self._load(self._path(key, best))
-        except FileNotFoundError:  # pragma: no cover - raced removal
-            return None
+                return self._load(self._path(key, best))
+            except FileNotFoundError:  # pragma: no cover - raced removal
+                return None
 
     def entries(self) -> list[CachedResult]:
         """Every stored entry (for ``repro-maxt cache ls``), newest first."""
-        paths = sorted(self.directory.glob("maxt-*-B*.npz"),
-                       key=lambda p: p.stat().st_mtime, reverse=True)
-        return [self._load(p) for p in paths]
+        with self._dir_lock(exclusive=False):
+            paths = sorted(self.directory.glob("maxt-*-B*.npz"),
+                           key=lambda p: p.stat().st_mtime, reverse=True)
+            return [self._load(p) for p in paths]
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed."""
+        """Remove every entry; returns how many were removed.
+
+        Holds the directory lock exclusively, so in-flight readers finish
+        first and later ones see either the full directory or an empty
+        one — never a partially cleared glob.
+        """
         removed = 0
-        for path in self.directory.glob("maxt-*-B*.npz"):
-            try:
-                path.unlink()
-                removed += 1
-            except FileNotFoundError:  # pragma: no cover - raced removal
-                pass
+        with self._dir_lock(exclusive=True):
+            for path in self.directory.glob("maxt-*-B*.npz"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:  # pragma: no cover - raced removal
+                    pass
         return removed
 
     def stats(self) -> dict:

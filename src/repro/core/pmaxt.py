@@ -75,7 +75,7 @@ from .partition import partition_permutations
 from .profile import SectionProfile, SectionTimer
 from .result import MaxTResult
 
-__all__ = ["pmaxT"]
+__all__ = ["lookup_cached", "pmaxT"]
 
 # Scalar encodings for the string options (paper future-work note 3: string
 # parameters replaced by integers before the broadcast).
@@ -178,6 +178,7 @@ def pmaxT(
     checkpoint_interval: int = 2_048,
     cache=None,
     cache_dir: str | None = None,
+    timeout: float | None = None,
 ) -> MaxTResult | None:
     """Parallel Westfall–Young maxT permutation test (SPMD entry point).
 
@@ -197,6 +198,11 @@ def pmaxT(
     the session's cache (``open_session(..., cache_dir=...)``).  The raw
     SPMD path (``comm=``) bypasses the cache: every rank is inside the
     world there, so no single rank can orchestrate lookups.
+
+    ``timeout`` bounds the launched job's execution in seconds on the
+    ``backend=``/``ranks=``/``session=`` paths (expiry raises
+    :class:`~repro.errors.CommunicatorError` and, under a session, tears
+    the worker pool down for respawn); ignored with ``comm=``.
     """
     if isinstance(X, PublishedDataset) and classlabel is None:
         classlabel = X.labels
@@ -214,6 +220,7 @@ def pmaxT(
         blas_threads=blas_threads, row_names=row_names,
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=checkpoint_interval,
+        timeout=timeout,
     )
     if resolved_cache is None or comm is not None:
         return _pmaxt_run(X, classlabel, comm=comm, backend=backend,
@@ -248,14 +255,24 @@ def _result_from_counts(teststat: np.ndarray, counts: KernelCounts,
     )
 
 
-def _pmaxt_cached(cache, X, classlabel, *, backend, ranks, session,
-                  **run_kwargs) -> MaxTResult:
-    """Cache orchestration: hit -> rebuild, partial -> extend, miss -> run."""
-    from .checkpoint import dataset_fingerprint, result_cache_key
+def _dataset_fp_for(X, classlabel) -> str:
+    """Content fingerprint of ``(X, classlabel)`` for result-cache keys.
 
-    if X is None or classlabel is None:
-        raise DataError("the master rank must supply X and classlabel")
-    options = validate_options(
+    A :class:`~repro.mpi.datasets.PublishedDataset` paired with its own
+    labels reuses the fingerprint computed once at publish time; any
+    other combination hashes the underlying bytes.
+    """
+    from .checkpoint import dataset_fingerprint
+
+    handle = X if isinstance(X, PublishedDataset) else None
+    if handle is not None and classlabel is handle.labels:
+        return handle.fingerprint
+    source = handle.base_data() if handle is not None else X
+    return dataset_fingerprint(source, classlabel)
+
+
+def _validated_options(classlabel, run_kwargs) -> MaxTOptions:
+    return validate_options(
         classlabel,
         test=run_kwargs["test"], side=run_kwargs["side"],
         fixed_seed_sampling=run_kwargs["fixed_seed_sampling"],
@@ -265,13 +282,67 @@ def _pmaxt_cached(cache, X, classlabel, *, backend, ranks, session,
         complete_limit=run_kwargs["complete_limit"],
         dtype=run_kwargs["dtype"],
     )
-    handle = X if isinstance(X, PublishedDataset) else None
-    if handle is not None and classlabel is handle.labels:
-        ds_fp = handle.fingerprint  # computed once at publish time
-    else:
-        source = handle.base_data() if handle is not None else X
-        ds_fp = dataset_fingerprint(source, classlabel)
-    key = result_cache_key(ds_fp, options)
+
+
+def lookup_cached(
+    cache,
+    X,
+    classlabel=None,
+    test: str = "t",
+    side: str = "abs",
+    fixed_seed_sampling: str = "y",
+    B: int = 10_000,
+    na: float = MT_NA_NUM,
+    nonpara: str = "n",
+    *,
+    seed: int = DEFAULT_SEED,
+    chunk_size: int = DEFAULT_CHUNK,
+    complete_limit: int = DEFAULT_COMPLETE_LIMIT,
+    dtype: str = "float64",
+    row_names: list[str] | None = None,
+) -> MaxTResult | None:
+    """Answer a pmaxT call from ``cache`` alone, or return ``None``.
+
+    The exact-hit half of the cache orchestration, exposed so a service
+    front-end can short-circuit an identical repeated analysis without
+    occupying a worker pool: on a hit the rebuilt
+    :class:`~repro.core.result.MaxTResult` is bit-identical to what
+    :func:`pmaxT` would return (and ``cache.hits`` is bumped); a miss or
+    a partial entry (smaller cached ``B``) returns ``None`` and leaves
+    the counters alone — route those through :func:`pmaxT`, which also
+    handles the incremental extension.
+    """
+    from .checkpoint import result_cache_key
+
+    if isinstance(X, PublishedDataset) and classlabel is None:
+        classlabel = X.labels
+    if X is None or classlabel is None:
+        raise DataError("the master rank must supply X and classlabel")
+    options = validate_options(
+        classlabel, test=test, side=side,
+        fixed_seed_sampling=fixed_seed_sampling, B=B, na=na,
+        nonpara=nonpara, seed=seed, chunk_size=chunk_size,
+        complete_limit=complete_limit, dtype=dtype,
+    )
+    key = result_cache_key(_dataset_fp_for(X, classlabel), options)
+    entry = cache.lookup(key, options.nperm)
+    if entry is None or entry.nperm != options.nperm:
+        return None
+    cache.hits += 1
+    return _result_from_counts(
+        entry.teststat, entry.counts, options, row_names,
+        nranks=int(entry.meta.get("nranks", 1)))
+
+
+def _pmaxt_cached(cache, X, classlabel, *, backend, ranks, session,
+                  **run_kwargs) -> MaxTResult:
+    """Cache orchestration: hit -> rebuild, partial -> extend, miss -> run."""
+    from .checkpoint import result_cache_key
+
+    if X is None or classlabel is None:
+        raise DataError("the master rank must supply X and classlabel")
+    options = _validated_options(classlabel, run_kwargs)
+    key = result_cache_key(_dataset_fp_for(X, classlabel), options)
     row_names = run_kwargs["row_names"]
     launch = dict(backend=backend, ranks=ranks, session=session)
 
@@ -348,6 +419,7 @@ def _pmaxt_run(
     checkpoint_interval: int = 2_048,
     perm_range: tuple | None = None,
     return_counts: bool = False,
+    timeout: float | None = None,
 ) -> MaxTResult | _RangeCounts | None:
     """The SPMD algorithm (cache-free half of :func:`pmaxT`).
 
@@ -419,7 +491,8 @@ def _pmaxt_run(
                          checkpoint_interval=checkpoint_interval)
         return launch_master(backend, ranks, _job, comm=comm,
                              session=session, worker_fn=worker,
-                             caller="pmaxT", blas_threads=blas_threads)
+                             caller="pmaxT", blas_threads=blas_threads,
+                             timeout=timeout)
 
     if comm is None:
         comm = SerialComm()

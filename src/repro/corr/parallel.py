@@ -49,7 +49,8 @@ def pcor(X=None, Y=None, *, use: str = "everything",
          backend: str | None = None,
          ranks: int | None = None,
          session: BackendSession | None = None,
-         blas_threads: int | None = None) -> np.ndarray | None:
+         blas_threads: int | None = None,
+         timeout: float | None = None) -> np.ndarray | None:
     """Parallel Pearson correlation of matrix rows.
 
     SPMD entry point with the same contract as :func:`~repro.core.pmaxt.pmaxT`:
@@ -69,7 +70,8 @@ def pcor(X=None, Y=None, *, use: str = "everything",
     world per call.  ``X`` additionally accepts a
     :class:`~repro.mpi.datasets.PublishedDataset` handle from
     ``session.publish``: the matrix then never crosses the wire — workers
-    map the published segment read-only.
+    map the published segment read-only.  ``timeout`` bounds the launched
+    job's execution in seconds (ignored with ``comm=``).
     """
     if backend is not None or ranks is not None or session is not None:
         from ..mpi.backends import launch_master
@@ -81,7 +83,8 @@ def pcor(X=None, Y=None, *, use: str = "everything",
 
         return launch_master(backend, ranks, _job, comm=comm,
                              session=session, worker_fn=_session_worker,
-                             caller="pcor", blas_threads=blas_threads)
+                             caller="pcor", blas_threads=blas_threads,
+                             timeout=timeout)
 
     if comm is None:
         comm = SerialComm()

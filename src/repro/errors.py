@@ -17,6 +17,8 @@ __all__ = [
     "CompletePermutationOverflow",
     "CommunicatorError",
     "CommAbort",
+    "ServiceError",
+    "QueueFullError",
     "SprintError",
     "ClusterModelError",
 ]
@@ -78,6 +80,30 @@ class CommAbort(CommunicatorError):
     def __init__(self, rank: int, message: str = ""):
         self.rank = rank
         super().__init__(f"rank {rank} aborted: {message}")
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The service tier (:mod:`repro.serve`) was driven incorrectly.
+
+    Examples: submitting to a closed :class:`~repro.serve.PoolManager`,
+    or requesting an unknown job id over the HTTP front-end.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The admission queue is at capacity — backpressure the client.
+
+    The service rejects new work instead of queueing unboundedly; HTTP
+    clients see ``429 Too Many Requests`` and should retry later.
+    """
+
+    def __init__(self, depth: int, limit: int):
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            f"admission queue is full ({depth} jobs queued, limit {limit}); "
+            f"retry after the backlog drains"
+        )
 
 
 class SprintError(ReproError, RuntimeError):

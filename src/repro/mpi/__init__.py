@@ -71,6 +71,7 @@ from .serial import SerialComm
 from .session import (
     BackendSession,
     EphemeralSession,
+    JobFuture,
     WorkerPoolSession,
     resident_cache,
 )
@@ -104,6 +105,7 @@ __all__ = [
     "open_session",
     "BackendSession",
     "EphemeralSession",
+    "JobFuture",
     "WorkerPoolSession",
     "resident_cache",
     "PublishedDataset",

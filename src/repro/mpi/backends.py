@@ -75,13 +75,19 @@ class Backend(ABC):
     in_process: bool = False
 
     @abstractmethod
-    def run(self, fn: SpmdFunction, ranks: int, *,
-            timeout: float | None = None) -> list[Any]:
+    def run(
+        self, fn: SpmdFunction, ranks: int, *, timeout: float | None = None
+    ) -> list[Any]:
         """Execute ``fn(comm)`` on ``ranks`` ranks; return rank-ordered results."""
 
-    def open_session(self, ranks: int, *, blas_threads: int | None = None,
-                     idle_timeout: float | None = None,
-                     job_timeout: float | None = None) -> BackendSession:
+    def open_session(
+        self,
+        ranks: int,
+        *,
+        blas_threads: int | None = None,
+        idle_timeout: float | None = None,
+        job_timeout: float | None = None,
+    ) -> BackendSession:
         """A world that outlives individual jobs (see :mod:`repro.mpi.session`).
 
         The default is an :class:`~repro.mpi.session.EphemeralSession`
@@ -147,17 +153,26 @@ class ProcessBackend(Backend):
             return run_spmd_processes(fn, ranks)
         return run_spmd_processes(fn, ranks, timeout=timeout)
 
-    def open_session(self, ranks: int, *, blas_threads: int | None = None,
-                     idle_timeout: float | None = None,
-                     job_timeout: float | None = None) -> BackendSession:
+    def open_session(
+        self,
+        ranks: int,
+        *,
+        blas_threads: int | None = None,
+        idle_timeout: float | None = None,
+        job_timeout: float | None = None,
+    ) -> BackendSession:
         """A persistent pool: workers forked once, jobs dispatched warm."""
         kwargs: dict[str, Any] = {}
         if job_timeout is not None:
             kwargs["job_timeout"] = job_timeout
-        return WorkerPoolSession(self.session_comm_cls,
-                                 self.check_ranks(ranks), name=self.name,
-                                 blas_threads=blas_threads,
-                                 idle_timeout=idle_timeout, **kwargs)
+        return WorkerPoolSession(
+            self.session_comm_cls,
+            self.check_ranks(ranks),
+            name=self.name,
+            blas_threads=blas_threads,
+            idle_timeout=idle_timeout,
+            **kwargs,
+        )
 
 
 class ShmBackend(ProcessBackend):
@@ -221,12 +236,15 @@ def run_backend(spec: str | Backend, fn: SpmdFunction, ranks: int, *,
     return resolve_backend(spec).run(fn, ranks, timeout=timeout)
 
 
-def open_session(backend: str | Backend | None = None,
-                 ranks: int | None = None, *,
-                 blas_threads: int | None = None,
-                 idle_timeout: float | None = None,
-                 job_timeout: float | None = None,
-                 cache_dir: str | None = None) -> BackendSession:
+def open_session(
+    backend: str | Backend | None = None,
+    ranks: int | None = None,
+    *,
+    blas_threads: int | None = None,
+    idle_timeout: float | None = None,
+    job_timeout: float | None = None,
+    cache_dir: str | None = None,
+) -> BackendSession:
     """Open a persistent SPMD world for repeated dispatch.
 
     The service-style entry point (see :mod:`repro.mpi.session`)::
@@ -267,12 +285,18 @@ def open_session(backend: str | Backend | None = None,
     return session
 
 
-def launch_master(backend: str | Backend | None, ranks: int | None,
-                  fn: SpmdFunction, *, comm: Any = None,
-                  session: BackendSession | None = None,
-                  worker_fn: SpmdFunction | None = None,
-                  caller: str = "this function",
-                  blas_threads: int | None = None) -> Any:
+def launch_master(
+    backend: str | Backend | None,
+    ranks: int | None,
+    fn: SpmdFunction,
+    *,
+    comm: Any = None,
+    session: BackendSession | None = None,
+    worker_fn: SpmdFunction | None = None,
+    caller: str = "this function",
+    blas_threads: int | None = None,
+    timeout: float | None = None,
+) -> Any:
     """Launch (or reuse) a world for a convenience call; return rank 0's result.
 
     Shared preamble of ``pmaxT(..., backend=, ranks=, session=)`` and
@@ -299,6 +323,10 @@ def launch_master(backend: str | Backend | None, ranks: int | None,
     whose shared pool is restored once the world completes.  A session
     fixes the policy when it is opened, so combining ``session=`` with
     ``blas_threads=`` is rejected.
+
+    ``timeout`` bounds the job's execution in seconds (collectives and
+    result collection) on either launch path; expiry raises
+    :class:`~repro.errors.CommunicatorError`.
     """
     from ..errors import DataError, OptionError
 
@@ -315,20 +343,18 @@ def launch_master(backend: str | Backend | None, ranks: int | None,
             raise OptionError(
                 "blas_threads is fixed when the session is opened; pass "
                 "it to open_session(...) instead")
-        return session.run(fn, worker_fn=worker_fn)[0]
+        return session.run(fn, worker_fn=worker_fn, timeout=timeout)[0]
     if comm is not None:
         raise DataError(
             f"pass either comm= (an existing SPMD world) or backend=/"
             f"ranks= ({caller} launches the world), not both")
     spec = DEFAULT_BACKEND if backend is None else backend
     nranks = 1 if ranks is None else int(ranks)
-    one_shot = EphemeralSession(resolve_backend(spec), nranks,
-                                blas_threads=blas_threads)
+    one_shot = EphemeralSession(resolve_backend(spec), nranks, blas_threads=blas_threads)
     with one_shot:
-        return one_shot.run(fn)[0]
+        return one_shot.run(fn, timeout=timeout)[0]
 
 
-for _backend in (SerialBackend(), ThreadBackend(), ProcessBackend(),
-                 ShmBackend()):
+for _backend in (SerialBackend(), ThreadBackend(), ProcessBackend(), ShmBackend()):
     register_backend(_backend)
 del _backend

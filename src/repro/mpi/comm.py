@@ -137,8 +137,7 @@ class Communicator(ABC):
             arr = np.ascontiguousarray(arr, dtype=np.dtype(dtype))
         return self.bcast(arr, root=root)
 
-    def reduce_array(self, arr: np.ndarray, op: ReduceOp = SUM,
-                     root: int = 0) -> np.ndarray | None:
+    def reduce_array(self, arr: np.ndarray, op: ReduceOp = SUM, root: int = 0) -> np.ndarray | None:
         """Elementwise-reduce same-shaped arrays; only ``root`` gets the result.
 
         Every rank contributes an array of identical shape and dtype.  The

@@ -110,8 +110,7 @@ def _unlink_segments(owner_pid: int, segments: list) -> None:
 class _DatasetRecord:
     """Publisher-side state of one published dataset (master only)."""
 
-    def __init__(self, use_shm: bool, base: np.ndarray,
-                 labels: np.ndarray | None):
+    def __init__(self, use_shm: bool, base: np.ndarray, labels: np.ndarray | None):
         self.use_shm = use_shm
         self.labels = labels
         self.owner_pid = os.getpid()
@@ -192,8 +191,7 @@ class PublishedDataset:
     ``classlabel`` of a ``pmaxT(handle)`` call.
     """
 
-    def __init__(self, record: _DatasetRecord, fingerprint: str,
-                 shape: tuple, nbytes: int):
+    def __init__(self, record: _DatasetRecord, fingerprint: str, shape: tuple, nbytes: int):
         self.dataset_id = secrets.token_hex(6)
         self.fingerprint = fingerprint
         self.shape = tuple(shape)
@@ -289,8 +287,7 @@ class DatasetRegistry:
             labels_arr.flags.writeable = False
         fingerprint = dataset_fingerprint(base, labels_arr)
         record = _DatasetRecord(self.use_shm, base, labels_arr)
-        handle = PublishedDataset(record, fingerprint, base.shape,
-                                  record.nbytes())
+        handle = PublishedDataset(record, fingerprint, base.shape, record.nbytes())
         with self._lock:
             self._records[handle.dataset_id] = record
             self.publishes += 1
@@ -306,8 +303,7 @@ class DatasetRegistry:
     def bytes_resident(self) -> int:
         """Bytes currently held by live published variants."""
         with self._lock:
-            return sum(r.nbytes() for r in self._records.values()
-                       if not r.closed)
+            return sum(r.nbytes() for r in self._records.values() if not r.closed)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -72,8 +72,7 @@ class ProcessComm(Communicator):
     point-to-point traffic and collective traffic cannot be confused.
     """
 
-    def __init__(self, rank: int, size: int, inboxes,
-                 timeout: float = _DEFAULT_TIMEOUT):
+    def __init__(self, rank: int, size: int, inboxes, timeout: float = _DEFAULT_TIMEOUT):
         self._rank = rank
         self._size = size
         self._inboxes = inboxes
@@ -301,8 +300,7 @@ def _worker(comm_cls, fn, rank, size, inboxes, results,
         finally:
             comm._cleanup()
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
-        results.put((rank, False, (type(exc).__name__, str(exc),
-                                   traceback.format_exc())))
+        results.put((rank, False, (type(exc).__name__, str(exc), traceback.format_exc())))
 
 
 def _drain(q) -> list:
@@ -330,10 +328,13 @@ def _join_or_kill(procs, timeout: float = 30.0) -> None:
             p.join(timeout=5)
 
 
-def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
-                       timeout: float = _DEFAULT_TIMEOUT,
-                       comm_cls: type[ProcessComm] = ProcessComm,
-                       blas_threads: int | None = None) -> list[Any]:
+def run_spmd_processes(
+    fn: Callable[[Communicator], Any],
+    size: int,
+    timeout: float = _DEFAULT_TIMEOUT,
+    comm_cls: type[ProcessComm] = ProcessComm,
+    blas_threads: int | None = None,
+) -> list[Any]:
     """Run ``fn(comm)`` on ``size`` OS processes; return rank-ordered results.
 
     Requires a picklable-under-fork ``fn`` (plain functions and closures
@@ -356,10 +357,11 @@ def run_spmd_processes(fn: Callable[[Communicator], Any], size: int,
     inboxes = [ctx.Queue() for _ in range(size)]
     results_q = ctx.Queue()
     procs = [
-        ctx.Process(target=_worker,
-                    args=(comm_cls, fn, rank, size, inboxes, results_q,
-                          timeout, blas_threads),
-                    name=f"spmd-proc-{rank}")
+        ctx.Process(
+            target=_worker,
+            args=(comm_cls, fn, rank, size, inboxes, results_q, timeout, blas_threads),
+            name=f"spmd-proc-{rank}",
+        )
         for rank in range(size)
     ]
     for p in procs:

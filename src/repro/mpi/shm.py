@@ -74,25 +74,21 @@ def _untrack(segment: shared_memory.SharedMemory) -> None:
 class ShmComm(ProcessComm):
     """Process-world communicator with shared-memory array collectives."""
 
-    def __init__(self, rank: int, size: int, inboxes,
-                 timeout: float = _DEFAULT_TIMEOUT):
+    def __init__(self, rank: int, size: int, inboxes, timeout: float = _DEFAULT_TIMEOUT):
         super().__init__(rank, size, inboxes, timeout)
         self._attached: list[shared_memory.SharedMemory] = []
 
     # -- array collectives --------------------------------------------------------
 
-    def _share(self, arr: np.ndarray) -> tuple[shared_memory.SharedMemory,
-                                               tuple]:
+    def _share(self, arr: np.ndarray) -> tuple[shared_memory.SharedMemory, tuple]:
         """Copy ``arr`` into a fresh shared segment; return it + metadata."""
         arr = np.ascontiguousarray(arr)
-        segment = shared_memory.SharedMemory(create=True,
-                                             size=max(1, arr.nbytes))
+        segment = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
         view[...] = arr
         return segment, (segment.name, arr.shape, arr.dtype.str)
 
-    def _map(self, meta: tuple) -> tuple[shared_memory.SharedMemory,
-                                         np.ndarray]:
+    def _map(self, meta: tuple) -> tuple[shared_memory.SharedMemory, np.ndarray]:
         """Attach a peer's segment and return a read-only ndarray view."""
         name, shape, dtype = meta
         segment = shared_memory.SharedMemory(name=name)
@@ -229,9 +225,12 @@ class ShmComm(ProcessComm):
         self._attached = []
 
 
-def run_spmd_shm(fn: Callable[[Communicator], Any], size: int,
-                 timeout: float = _DEFAULT_TIMEOUT,
-                 blas_threads: int | None = None) -> list[Any]:
+def run_spmd_shm(
+    fn: Callable[[Communicator], Any],
+    size: int,
+    timeout: float = _DEFAULT_TIMEOUT,
+    blas_threads: int | None = None,
+) -> list[Any]:
     """Run ``fn(comm)`` on ``size`` OS processes with shared-memory arrays.
 
     Identical contract to :func:`~repro.mpi.processes.run_spmd_processes`
@@ -241,5 +240,6 @@ def run_spmd_shm(fn: Callable[[Communicator], Any], size: int,
     ``reduce_array`` move numpy data through shared memory instead of
     pickled queue payloads.
     """
-    return run_spmd_processes(fn, size, timeout=timeout, comm_cls=ShmComm,
-                              blas_threads=blas_threads)
+    return run_spmd_processes(
+        fn, size, timeout=timeout, comm_cls=ShmComm, blas_threads=blas_threads
+    )

@@ -182,8 +182,9 @@ class ThreadComm(Communicator):
                 w._mail_lock.wait(timeout=0.1)
 
 
-def run_spmd(fn: Callable[[Communicator], Any], size: int,
-             timeout: float | None = None) -> list[Any]:
+def run_spmd(
+    fn: Callable[[Communicator], Any], size: int, timeout: float | None = None
+) -> list[Any]:
     """Run ``fn(comm)`` on ``size`` ranks; return rank-ordered results.
 
     The moral equivalent of ``mpiexec -n size python script.py``: every rank

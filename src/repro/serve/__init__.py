@@ -1,0 +1,44 @@
+"""Service tier: async sessions behind a load-balanced HTTP front-end.
+
+Three layers turn the library's resident worker pools into a service
+that answers many concurrent users — the ROADMAP's "heavy traffic"
+north-star on top of the paper's long-lived ``mpiexec`` allocation:
+
+1. **Async sessions** (:mod:`repro.mpi.session`) —
+   ``session.submit(...) -> JobFuture``; every session runs one dispatch
+   pipeline, so ``run()`` is just ``submit().result()``.
+2. **The pool manager** (:class:`PoolManager`) — owns N resident
+   sessions, load-balances jobs across them with a bounded admission
+   queue (reject-with-backpressure), per-job priorities, per-pool health
+   tracking with crash rerouting, and a shared content-addressed result
+   cache that answers repeated analyses from disk without touching a
+   pool.
+3. **The HTTP front-end** (:func:`make_server` / ``repro-maxt serve``) —
+   ``POST /v1/jobs`` + ``GET /v1/jobs/<id>`` plus ``/healthz`` and
+   ``/statsz``, stdlib-only; :class:`ServiceClient` is the matching
+   urllib client.
+
+Quick start::
+
+    from repro.serve import PoolManager, make_server
+
+    with PoolManager("processes", ranks=2, pools=2,
+                     cache_dir="/tmp/maxt-cache") as manager:
+        job = manager.submit_pmaxt(X, labels, B=10_000)
+        result = job.result()          # a MaxTResult, bit-identical
+                                       # to pmaxT(X, labels, B=10_000)
+"""
+
+from .client import ServiceClient
+from .jobs import JobSpec, ServiceJob
+from .manager import PoolManager
+from .http import make_server, serve_forever
+
+__all__ = [
+    "JobSpec",
+    "PoolManager",
+    "ServiceClient",
+    "ServiceJob",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,186 @@
+"""Thin stdlib HTTP front-end over a :class:`~repro.serve.PoolManager`.
+
+Endpoints (JSON in, JSON out)::
+
+    POST /v1/jobs              submit {"kind": "pmaxt"|"pcor", "data": [[..]],
+                               "labels": [..], "params": {..}, "priority": 0,
+                               "timeout": null} -> 202 {"id": .., "state": ..}
+    GET  /v1/jobs/<id>         poll; terminal success includes "result"
+    POST /v1/jobs/<id>/cancel  withdraw a queued job
+    GET  /healthz              200 {"status": "ok"} while a healthy pool exists
+    GET  /statsz               pool occupancy, queue depth, cache hit rate,
+                               jobs/s (PoolManager.stats())
+
+Backpressure: a full admission queue turns into ``429 Too Many Requests``
+with a JSON error body — clients retry after the backlog drains.  Invalid
+requests are ``400``, unknown jobs/paths ``404``.
+
+The server is :class:`http.server.ThreadingHTTPServer` — one thread per
+in-flight request, which is plenty for a front-end whose heavy work
+happens on the manager's pool runners.  Results serialise through
+``ServiceJob.to_dict``; Python's JSON float round-trip is exact for
+finite doubles, so a pmaxT result fetched over HTTP is bit-identical to
+the direct ``pmaxT()`` return (asserted end-to-end by the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import DataError, OptionError, QueueFullError, ServiceError
+from .jobs import JobSpec
+from .manager import PoolManager
+
+__all__ = ["make_server", "serve_forever"]
+
+#: Request body size cap (100 MB of JSON ~ a 6500x1000 float64 matrix).
+_MAX_BODY = 100 * 1024 * 1024
+
+#: Job kinds accepted over the wire (the raw-callable kind is not).
+_HTTP_KINDS = ("pmaxt", "pcor")
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """One request; the manager lives on the server object."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def manager(self) -> PoolManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, **extra) -> None:
+        self._reply(code, {"error": message, **extra})
+
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "a JSON request body is required")
+            return None
+        if length > _MAX_BODY:
+            self._error(413, f"request body exceeds {_MAX_BODY} bytes")
+            return None
+        try:
+            doc = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(doc, dict):
+            self._error(400, "the request body must be a JSON object")
+            return None
+        return doc
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            if self.manager.healthy():
+                self._reply(200, {"status": "ok"})
+            else:
+                self._reply(503, {"status": "unhealthy"})
+        elif self.path == "/statsz":
+            self._reply(200, self.manager.stats())
+        elif self.path.startswith("/v1/jobs/"):
+            job_id = self.path[len("/v1/jobs/") :]
+            job = self.manager.job(job_id)
+            if job is None:
+                self._error(404, f"unknown job {job_id!r}")
+            else:
+                self._reply(200, job.to_dict())
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/v1/jobs":
+            self._submit()
+        elif self.path.startswith("/v1/jobs/") and self.path.endswith("/cancel"):
+            job_id = self.path[len("/v1/jobs/") : -len("/cancel")]
+            job = self.manager.job(job_id)
+            if job is None:
+                self._error(404, f"unknown job {job_id!r}")
+            else:
+                self._reply(200, {"id": job.id, "cancelled": job.cancel(), "state": job.state})
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def _submit(self) -> None:
+        doc = self._read_json()
+        if doc is None:
+            return
+        kind = doc.get("kind", "pmaxt")
+        if kind not in _HTTP_KINDS:
+            self._error(
+                400,
+                f"unknown job kind {kind!r}; expected one of {', '.join(_HTTP_KINDS)}",
+            )
+            return
+        params = doc.get("params", {})
+        if not isinstance(params, dict):
+            self._error(400, "params must be a JSON object")
+            return
+        spec = JobSpec(
+            kind=kind,
+            data=doc.get("data"),
+            labels=doc.get("labels"),
+            params=params,
+            priority=int(doc.get("priority", 0)),
+            timeout=doc.get("timeout"),
+        )
+        try:
+            job = self.manager.submit(spec)
+        except QueueFullError as exc:
+            self._error(429, str(exc), depth=exc.depth, limit=exc.limit)
+        except (OptionError, DataError, ValueError, TypeError) as exc:
+            self._error(400, str(exc))
+        except ServiceError as exc:
+            self._error(503, str(exc))
+        else:
+            self._reply(202, {"id": job.id, "state": job.state})
+
+
+def make_server(
+    manager: PoolManager, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind the front-end (``port=0`` picks a free port; see
+    ``server.server_address``).  The caller owns both lifetimes: run
+    ``serve_forever()`` (or :func:`serve_forever` below for the signal
+    handling), then ``shutdown()`` the server and ``close()`` the manager.
+    """
+    server = ThreadingHTTPServer((host, port), _ServiceHandler)
+    server.daemon_threads = True
+    server.manager = manager  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(manager: PoolManager, host: str = "127.0.0.1", port: int = 8071) -> None:
+    """Blocking convenience loop for the CLI: serve until interrupted."""
+    server = make_server(manager, host, port)
+    addr = server.server_address
+    print(
+        f"repro-serve listening on http://{addr[0]}:{addr[1]} "
+        f"(pools={manager.stats()['pools']}, ranks={manager.ranks})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.close()

@@ -224,3 +224,68 @@ class TestStore:
         out = pmaxT(X, y, B=100, seed=1, comm=SerialComm(), cache=cache)
         _same(out, pmaxT(X, y, B=100, seed=1))
         assert (cache.hits, cache.misses, cache.extensions) == (0, 0, 0)
+
+
+class TestDirectoryLock:
+    """clear() vs concurrent readers (ROADMAP cache follow-up b)."""
+
+    def test_clear_waits_for_reader(self, dataset, cache):
+        # Hold the shared lock the way a reader does (own descriptor,
+        # LOCK_SH) and check clear() blocks until it is released.
+        import threading
+        import time as time_mod
+
+        fcntl = pytest.importorskip("fcntl")
+        X, y = dataset
+        pmaxT(X, y, B=100, seed=1, cache=cache)
+        cleared = threading.Event()
+
+        with open(cache.directory / ".cache.lock", "a+b") as fh:
+            fcntl.flock(fh, fcntl.LOCK_SH)
+            t = threading.Thread(
+                target=lambda: (cache.clear(), cleared.set()))
+            t.start()
+            time_mod.sleep(0.2)
+            # the reader's shared lock is still held: clear() must wait
+            assert not cleared.is_set()
+            assert len(cache.entries()) == 1  # shared locks coexist
+            fcntl.flock(fh, fcntl.LOCK_UN)
+        t.join(timeout=10)
+        assert cleared.is_set()
+        assert cache.entries() == []
+
+    def test_reader_never_sees_half_cleared_directory(self, dataset,
+                                                      cache):
+        # Stress: lookups racing clear() must return a full entry or a
+        # clean miss — never crash on a file unlinked mid-read.
+        import threading
+
+        from repro.core.options import validate_options as _vo
+
+        X, y = dataset
+        first = pmaxT(X, y, B=100, seed=1, cache=cache)
+        fp = dataset_fingerprint(X, np.asarray(y, dtype=np.int64))
+        key = result_cache_key(fp, _vo(y, B=100, seed=1))
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    entry = cache.lookup(key, 100)
+                    if entry is not None:
+                        assert entry.nperm == 100
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for _ in range(20):
+            cache.clear()
+            cache.save(key, 100, first.teststat, first.counts,
+                       {"test": "t"})
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []

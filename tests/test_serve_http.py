@@ -1,0 +1,150 @@
+"""HTTP front-end: endpoints, backpressure codes, wire bit-identity."""
+
+import functools
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import pmaxT
+from repro.errors import QueueFullError, ServiceError
+from repro.serve import JobSpec, PoolManager, ServiceClient, make_server
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(19)
+    X = rng.normal(size=(30, 12))
+    labels = [0] * 6 + [1] * 6
+    return X, labels
+
+
+@pytest.fixture
+def service():
+    """An in-process server over one serial pool; yields (client, manager)."""
+    manager = PoolManager("serial", 1, pools=1, max_queue=2)
+    server = make_server(manager, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    try:
+        yield ServiceClient(f"http://127.0.0.1:{port}"), manager
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.close()
+
+
+def _blocker(comm, started=None, release=None):
+    started.set()
+    release.wait(30)
+    return "blocked"
+
+
+class TestEndpoints:
+    def test_pmaxt_round_trip_bit_identical(self, service, dataset):
+        client, _ = service
+        X, labels = dataset
+        direct = pmaxT(X, labels, B=200, seed=3)
+        submitted = client.submit_pmaxt(X, labels, B=200, seed=3)
+        assert submitted["state"] in ("queued", "running", "done")
+        doc = client.wait(submitted["id"], timeout=120)
+        result = doc["result"]
+        # JSON float round-trip is exact for finite doubles: the wire
+        # result equals the in-process one bit for bit.
+        assert result["teststat"] == direct.teststat.tolist()
+        assert result["rawp"] == direct.rawp.tolist()
+        assert result["adjp"] == direct.adjp.tolist()
+        assert result["order"] == direct.order.tolist()
+        assert result["nperm"] == direct.nperm
+        assert doc["attempts"] == 1
+
+    def test_pcor_round_trip(self, service, dataset):
+        from repro.corr import pcor
+
+        client, _ = service
+        X, _labels = dataset
+        direct = pcor(X)
+        doc = client.wait(client.submit_pcor(X)["id"], timeout=120)
+        assert doc["result"] == direct.tolist()
+
+    def test_healthz_and_statsz(self, service):
+        client, _ = service
+        assert client.healthz() == {"status": "ok"}
+        stats = client.statsz()
+        assert stats["pools"] == 1
+        assert stats["max_queue"] == 2
+        assert "jobs_per_s" in stats
+        assert "occupancy" in stats
+
+    def test_unknown_job_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="404"):
+            client.get("job-999999")
+
+    def test_unknown_path_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="404"):
+            client._request("GET", "/nope")
+
+    def test_bad_kind_is_400(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="400"):
+            client.submit({"kind": "fn", "data": []})
+
+    def test_invalid_json_is_400(self, service):
+        client, _ = service
+        req = urllib.request.Request(
+            client.base_url + "/v1/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(req, timeout=10)
+        assert info.value.code == 400
+        assert "invalid JSON" in json.loads(info.value.read())["error"]
+
+    def test_bad_params_are_400(self, service, dataset):
+        client, _ = service
+        X, labels = dataset
+        with pytest.raises(ServiceError, match="400"):
+            client.submit_pmaxt(X, labels, backend="shm")
+
+
+class TestBackpressureAndCancel:
+    def test_full_queue_is_429(self, service, dataset):
+        client, manager = service
+        X, labels = dataset
+        started, release = threading.Event(), threading.Event()
+        manager.submit(JobSpec(kind="fn", fn=functools.partial(
+            _blocker, started=started, release=release)))
+        assert started.wait(30)
+        accepted = [client.submit_pmaxt(X, labels, B=50)
+                    for _ in range(2)]  # fills max_queue=2
+        with pytest.raises(QueueFullError) as info:
+            client.submit_pmaxt(X, labels, B=50)
+        assert info.value.limit == 2
+        release.set()
+        for doc in accepted:
+            client.wait(doc["id"], timeout=120)
+
+    def test_cancel_queued_over_http(self, service, dataset):
+        client, manager = service
+        X, labels = dataset
+        started, release = threading.Event(), threading.Event()
+        manager.submit(JobSpec(kind="fn", fn=functools.partial(
+            _blocker, started=started, release=release)))
+        assert started.wait(30)
+        queued = client.submit_pmaxt(X, labels, B=50)
+        doc = client.cancel(queued["id"])
+        assert doc["cancelled"] is True
+        assert doc["state"] == "cancelled"
+        release.set()
+        # a terminal cancelled job reports its state on GET
+        assert client.get(queued["id"])["state"] == "cancelled"
+
+    def test_cancel_unknown_job_is_404(self, service):
+        client, _ = service
+        with pytest.raises(ServiceError, match="404"):
+            client.cancel("job-424242")
