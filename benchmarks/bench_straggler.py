@@ -1,0 +1,198 @@
+"""Measured benchmark: static partition vs work-stealing under a straggler.
+
+The static Figure-2 plan hands every rank one contiguous permutation
+chunk, so the job's wall-clock is the *slowest* rank's chunk time — one
+throttled rank stalls the whole world.  The block-granular steal schedule
+(``schedule="steal"``) lets finished ranks take blocks off the straggler's
+share, so the wall-clock tracks the world's *aggregate* throughput
+instead.  This benchmark times the same pmaxT problem both ways over one
+warm session, with one rank throttled 4x via the scheduler's delay hook
+(``REPRO_STEAL_TEST_DELAY`` — a per-permutation sleep, so the skew is
+reproducible on any host), asserts the two answers are bit-identical, and
+writes the comparison to ``BENCH_steal.json``.
+
+With three full-speed ranks and one at quarter speed, the static plan's
+wall is the straggler's chunk (``B/4`` permutations at 4x cost == the
+full-``B`` serial delay) while stealing approaches the aggregate rate of
+3.25 rank-equivalents — an ideal ~3.2x; the gate requires >= 1.5x so
+block granularity and protocol overhead have comfortable room.
+
+Run standalone (writes the JSON next to the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_straggler.py
+    PYTHONPATH=src python benchmarks/bench_straggler.py \\
+        --b 4000 --ranks 4 --delay 0.0005
+
+or through pytest (acceptance shape, asserts the steal win)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_straggler.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import pmaxT
+from repro.data import synthetic_expression, two_class_labels
+from repro.mpi import open_session
+
+# Acceptance shape: a small matrix (the skew is injected, not compute
+# -bound), 4 ranks, one of them 4x slower.  The injected per-permutation
+# delay dominates the kernel by design, so the measured ratio isolates
+# the *schedule* — the thing this benchmark exists to defend — from the
+# host's BLAS throughput.
+DEFAULT_GENES = 200
+DEFAULT_SAMPLES = 40
+DEFAULT_RANKS = 4
+DEFAULT_B = 2_000
+DEFAULT_REPEATS = 3
+DEFAULT_BACKEND = "shm"
+DEFAULT_DELAY = 0.0005  # seconds per permutation on the fast ranks
+DEFAULT_STRAGGLER_FACTOR = 4.0
+DEFAULT_STEAL_BLOCK = 100
+RESULT_FILE = "BENCH_steal.json"
+
+_DELAY_ENV_VAR = "REPRO_STEAL_TEST_DELAY"
+
+
+def measure(
+    n_genes=DEFAULT_GENES,
+    n_samples=DEFAULT_SAMPLES,
+    ranks=DEFAULT_RANKS,
+    B=DEFAULT_B,
+    repeats=DEFAULT_REPEATS,
+    backend=DEFAULT_BACKEND,
+    delay=DEFAULT_DELAY,
+    straggler_factor=DEFAULT_STRAGGLER_FACTOR,
+    steal_block=DEFAULT_STEAL_BLOCK,
+    seed=5,
+) -> dict:
+    """Time static vs steal pmaxT with rank 1 throttled; assert same bits."""
+    X, _ = synthetic_expression(
+        n_genes, n_samples, n_class1=n_samples // 2, de_fraction=0.1,
+        seed=seed,
+    )
+    labels = two_class_labels(n_samples // 2, n_samples - n_samples // 2)
+    kwargs = dict(test="t", B=B, seed=29)
+
+    previous = os.environ.get(_DELAY_ENV_VAR)
+    os.environ[_DELAY_ENV_VAR] = (
+        f"1:{delay * straggler_factor:.6f},*:{delay:.6f}")
+    try:
+        static_times, steal_times = [], []
+        with open_session(backend, ranks) as session:
+            # Untimed warm-up: pays the pool spawn and the resident
+            # kernel workspaces, so the timed calls isolate the schedule.
+            pmaxT(X, labels, session=session, schedule="static", **kwargs)
+            for _ in range(repeats):
+                start = time.perf_counter()
+                static = pmaxT(X, labels, session=session,
+                               schedule="static", **kwargs)
+                static_times.append(time.perf_counter() - start)
+            for _ in range(repeats):
+                start = time.perf_counter()
+                steal = pmaxT(X, labels, session=session, schedule="steal",
+                              steal_block=steal_block, **kwargs)
+                steal_times.append(time.perf_counter() - start)
+            blocks_stolen = session.blocks_stolen
+    finally:
+        if previous is None:
+            os.environ.pop(_DELAY_ENV_VAR, None)
+        else:
+            os.environ[_DELAY_ENV_VAR] = previous
+
+    # The headline invariant: the schedule moves blocks between ranks,
+    # never what is computed — the bits must match exactly.
+    np.testing.assert_array_equal(static.adjp, steal.adjp)
+    np.testing.assert_array_equal(static.rawp, steal.rawp)
+    np.testing.assert_array_equal(static.teststat, steal.teststat)
+
+    static_best, steal_best = min(static_times), min(steal_times)
+    return {
+        "benchmark": "straggler_steal",
+        "matrix": [n_genes, n_samples],
+        "B": B,
+        "ranks": ranks,
+        "backend": backend,
+        "repeats": repeats,
+        "delay_s_per_perm": delay,
+        "straggler_factor": straggler_factor,
+        "steal_block": steal_block,
+        "static_s": static_best,
+        "steal_s": steal_best,
+        "steal_speedup": static_best / steal_best,
+        "blocks_stolen": blocks_stolen,
+    }
+
+
+def test_steal_beats_static_under_straggler():
+    """ISSUE acceptance: >= 1.5x at 4 ranks with one 4x-throttled rank."""
+    result = measure()
+    assert result["blocks_stolen"] > 0, "the steal schedule never engaged"
+    assert result["steal_speedup"] >= 1.5, (
+        f"steal ({result['steal_s']:.3f}s) should beat the static plan "
+        f"({result['static_s']:.3f}s) by >= 1.5x under a 4x straggler, "
+        f"got {result['steal_speedup']:.2f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time static vs steal pmaxT under an injected straggler."
+    )
+    parser.add_argument("--genes", type=int, default=DEFAULT_GENES)
+    parser.add_argument("--samples", type=int, default=DEFAULT_SAMPLES)
+    parser.add_argument("--ranks", type=int, default=DEFAULT_RANKS)
+    parser.add_argument("--b", type=int, default=DEFAULT_B, dest="B")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--backend", default=DEFAULT_BACKEND)
+    parser.add_argument("--delay", type=float, default=DEFAULT_DELAY,
+                        help="per-permutation delay on the fast ranks (s)")
+    parser.add_argument("--straggler-factor", type=float,
+                        default=DEFAULT_STRAGGLER_FACTOR)
+    parser.add_argument("--steal-block", type=int,
+                        default=DEFAULT_STEAL_BLOCK)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=f"output JSON path (default: {RESULT_FILE} in the repository root)",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure(
+        args.genes, args.samples, args.ranks, args.B, args.repeats,
+        args.backend, args.delay, args.straggler_factor, args.steal_block,
+    )
+
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parent.parent / RESULT_FILE
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(
+        f"pmaxT {result['matrix'][0]}x{result['matrix'][1]}, "
+        f"B={result['B']}, {result['ranks']} ranks on "
+        f"'{result['backend']}', rank 1 throttled "
+        f"{result['straggler_factor']:g}x, best of {result['repeats']}"
+    )
+    print(
+        f"  static partition   {result['static_s'] * 1e3:8.1f} ms\n"
+        f"  work stealing      {result['steal_s'] * 1e3:8.1f} ms\n"
+        f"  speedup {result['steal_speedup']:.2f}x  "
+        f"({result['blocks_stolen']} blocks stolen)"
+    )
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ from .errors import (
     PermutationError,
     ReproError,
     SprintError,
+    WorkerDeadError,
 )
 from .stats import MT_NA_NUM, available_tests
 
@@ -69,6 +70,7 @@ __all__ = [
     "CompletePermutationOverflow",
     "CommunicatorError",
     "CommAbort",
+    "WorkerDeadError",
     "SprintError",
     "ClusterModelError",
     "__version__",

@@ -86,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="statistic compute precision (float32: ~2x "
                         "BLAS speed at ~1e-5 relative accuracy; default: "
                         "float64)")
+    parser.add_argument("--schedule", default="auto",
+                        choices=("auto", "static", "steal"),
+                        help="permutation scheduling: 'static' is the "
+                        "paper's fixed Figure-2 partition, 'steal' the "
+                        "block-granular work-stealing dispatch (bit-"
+                        "identical results), 'auto' picks steal whenever "
+                        "the run supports it (default: auto)")
+    parser.add_argument("--steal-block", type=int, default=None,
+                        metavar="N",
+                        help="permutations per stealable block "
+                        "(default: 256)")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="enable checkpoint/restart into this directory")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -133,14 +144,35 @@ def _resolve_cache(args) -> object | None:
     return ResultCache(cache_dir)
 
 
+def _parse_bytes(spec: str) -> int:
+    """``512M``-style byte sizes (K/M/G suffixes, powers of 1024)."""
+    spec = spec.strip()
+    scale = {"K": 1024, "M": 1024**2, "G": 1024**3}.get(spec[-1:].upper())
+    try:
+        if scale is not None:
+            return int(float(spec[:-1]) * scale)
+        return int(spec)
+    except ValueError:
+        raise ReproError(
+            f"invalid byte size {spec!r} (expected e.g. 1048576, 512K, "
+            "64M, 2G)") from None
+
+
 def _cache_main(argv: list[str]) -> int:
-    """The ``repro-maxt cache ls|clear`` subcommand."""
+    """The ``repro-maxt cache ls|clear|sweep`` subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro-maxt cache",
-        description="inspect or clear the content-addressed result cache")
-    parser.add_argument("action", choices=("ls", "clear"))
+        description="inspect, clear or sweep the content-addressed result "
+        "cache")
+    parser.add_argument("action", choices=("ls", "clear", "sweep"))
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache directory (default: $REPRO_CACHE_DIR)")
+    parser.add_argument("--max-bytes", default=None, metavar="SIZE",
+                        help="sweep: evict least-recently-used entries "
+                        "until the directory fits (accepts K/M/G suffixes)")
+    parser.add_argument("--max-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="sweep: evict entries not used for this long")
     args = parser.parse_args(argv)
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
     if not cache_dir:
@@ -150,6 +182,20 @@ def _cache_main(argv: list[str]) -> int:
     from .core.checkpoint import ResultCache
 
     cache = ResultCache(cache_dir)
+    if args.action == "sweep":
+        if args.max_bytes is None and args.max_age is None:
+            print("error: sweep needs --max-bytes and/or --max-age",
+                  file=sys.stderr)
+            return 2
+        try:
+            max_bytes = (None if args.max_bytes is None
+                         else _parse_bytes(args.max_bytes))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        removed = cache.sweep(max_bytes=max_bytes, max_age=args.max_age)
+        print(f"evicted {removed} entries from {cache.directory}")
+        return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.directory}")
@@ -238,7 +284,10 @@ def main(argv: list[str] | None = None) -> int:
             row_names=row_names,
             checkpoint_dir=args.checkpoint_dir,
             cache=cache,
+            schedule=args.schedule,
         )
+        if args.steal_block is not None:
+            kwargs["steal_block"] = args.steal_block
         if args.seed is not None:
             kwargs["seed"] = args.seed
 

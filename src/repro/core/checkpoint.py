@@ -245,19 +245,36 @@ class ResultCache:
     Cross-process coordination uses an advisory ``flock`` on a
     ``.cache.lock`` file in the directory: readers and writers take it
     shared (atomic replace already orders them against each other),
-    :meth:`clear` takes it exclusive — so a concurrent reader can never
-    observe a half-cleared directory (e.g. an entry listed by the glob
-    but unlinked before its load).  On platforms without ``fcntl`` the
-    lock degrades to a no-op.
+    :meth:`clear` and :meth:`sweep` take it exclusive — so a concurrent
+    reader can never observe a half-cleared directory (e.g. an entry
+    listed by the glob but unlinked before its load).  On platforms
+    without ``fcntl`` the lock degrades to a no-op.
+
+    Eviction: a cache constructed with ``max_bytes=`` and/or ``max_age=``
+    (seconds) sweeps itself after every write, and sessions sweep their
+    cache on close.  Successful lookups touch the entry's mtime, so the
+    byte-budget sweep removes entries least-recently-*used*, not merely
+    least-recently-written.  Both limits also apply one-off through
+    :meth:`sweep` (the ``repro-maxt cache sweep`` subcommand).
     """
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path,
+                 max_bytes: int | None = None,
+                 max_age: float | None = None):
+        if max_bytes is not None and int(max_bytes) <= 0:
+            raise DataError(
+                f"cache max_bytes must be positive, got {max_bytes}")
+        if max_age is not None and float(max_age) <= 0:
+            raise DataError(f"cache max_age must be positive, got {max_age}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.max_age = None if max_age is None else float(max_age)
         #: Orchestration counters (exact hits / cold runs / extended-B runs).
         self.hits = 0
         self.misses = 0
         self.extensions = 0
+        self.evictions = 0
 
     def _path(self, key: str, nperm: int) -> Path:
         return self.directory / f"maxt-{key}-B{int(nperm)}.npz"
@@ -310,7 +327,52 @@ class ResultCache:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
                 raise
+        self._auto_sweep()
         return path
+
+    def save_array(self, kind: str, key: str, arrays: dict,
+                   meta: dict | None = None) -> Path:
+        """Atomically persist a generic ``<kind>-<key>.npz`` array entry.
+
+        The maxT count entries have bespoke structure (``save``/``lookup``
+        with the incremental-B prefix property); everything else cached by
+        result — currently the ``pcor`` correlation matrices — is a flat
+        bag of named arrays under a content key.  Same locking, same
+        atomic-replace discipline, same eviction sweep.
+        """
+        record = dict(meta or {})
+        record.setdefault("created", time.time())
+        path = self.directory / f"{kind}-{key}.npz"
+        with self._dir_lock(exclusive=False):
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(
+                        fh,
+                        meta=np.frombuffer(
+                            json.dumps(record).encode(), dtype=np.uint8),
+                        **{name: np.asarray(a) for name, a in arrays.items()},
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        self._auto_sweep()
+        return path
+
+    def lookup_array(self, kind: str, key: str) -> dict | None:
+        """Load a ``save_array`` entry (``None`` if absent); touches mtime."""
+        path = self.directory / f"{kind}-{key}.npz"
+        with self._dir_lock(exclusive=False):
+            try:
+                with np.load(path) as data:
+                    out = {name: data[name].copy()
+                           for name in data.files if name != "meta"}
+            except FileNotFoundError:
+                return None
+            self._touch(path)
+            return out
 
     def _load(self, path: Path) -> CachedResult:
         with np.load(path) as data:
@@ -335,7 +397,9 @@ class ResultCache:
         with self._dir_lock(exclusive=False):
             exact = self._path(key, nperm)
             if exact.exists():
-                return self._load(exact)
+                entry = self._load(exact)
+                self._touch(exact)
+                return entry
             best = 0
             prefix = f"maxt-{key}-B"
             for path in self.directory.glob(f"{prefix}*.npz"):
@@ -348,9 +412,19 @@ class ResultCache:
             if best == 0:
                 return None
             try:
-                return self._load(self._path(key, best))
+                entry = self._load(self._path(key, best))
             except FileNotFoundError:  # pragma: no cover - raced removal
                 return None
+            self._touch(self._path(key, best))
+            return entry
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime so LRU eviction sees it as recent."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - raced removal / odd perms
+            pass
 
     def entries(self) -> list[CachedResult]:
         """Every stored entry (for ``repro-maxt cache ls``), newest first."""
@@ -360,7 +434,7 @@ class ResultCache:
             return [self._load(p) for p in paths]
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed.
+        """Remove every entry (maxT and array kinds alike); returns the count.
 
         Holds the directory lock exclusively, so in-flight readers finish
         first and later ones see either the full directory or an empty
@@ -368,13 +442,69 @@ class ResultCache:
         """
         removed = 0
         with self._dir_lock(exclusive=True):
-            for path in self.directory.glob("maxt-*-B*.npz"):
+            for path in self.directory.glob("*.npz"):
                 try:
                     path.unlink()
                     removed += 1
                 except FileNotFoundError:  # pragma: no cover - raced removal
                     pass
         return removed
+
+    def _auto_sweep(self) -> None:
+        """Post-write sweep when the cache was constructed with limits."""
+        if self.max_bytes is not None or self.max_age is not None:
+            self.sweep()
+
+    def sweep(self, max_bytes: int | None = None,
+              max_age: float | None = None) -> int:
+        """Evict entries beyond the age and byte budgets; returns the count.
+
+        Arguments override the constructor limits for this sweep only.
+        Age-expired entries go first; then, while the directory exceeds
+        ``max_bytes``, the least-recently-used entries (oldest mtime —
+        lookups refresh it) are removed until it fits.  With neither limit
+        configured nor passed, the sweep is a no-op.
+        """
+        max_bytes = self.max_bytes if max_bytes is None else int(max_bytes)
+        max_age = self.max_age if max_age is None else float(max_age)
+        if max_bytes is None and max_age is None:
+            return 0
+        removed = 0
+        now = time.time()
+        with self._dir_lock(exclusive=True):
+            entries = []
+            for path in self.directory.glob("*.npz"):
+                try:
+                    st = path.stat()
+                except OSError:  # pragma: no cover - raced removal
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+            if max_age is not None:
+                fresh = []
+                for mtime, size, path in entries:
+                    if now - mtime > max_age:
+                        removed += self._evict(path)
+                    else:
+                        fresh.append((mtime, size, path))
+                entries = fresh
+            if max_bytes is not None:
+                entries.sort()  # oldest mtime first: least recently used
+                total = sum(size for _, size, _ in entries)
+                for _, size, path in entries:
+                    if total <= max_bytes:
+                        break
+                    removed += self._evict(path)
+                    total -= size
+        self.evictions += removed
+        return removed
+
+    @staticmethod
+    def _evict(path: Path) -> int:
+        try:
+            path.unlink()
+            return 1
+        except FileNotFoundError:  # pragma: no cover - raced removal
+            return 0
 
     def stats(self) -> dict:
         """Counter snapshot (mirrored into ``session.stats()``)."""
@@ -383,6 +513,7 @@ class ResultCache:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_extended": self.extensions,
+            "cache_evictions": self.evictions,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -28,7 +28,14 @@ from dataclasses import dataclass
 
 from ..errors import PermutationError
 
-__all__ = ["RankChunk", "PartitionPlan", "partition_permutations"]
+__all__ = [
+    "RankChunk",
+    "PartitionPlan",
+    "partition_permutations",
+    "Block",
+    "carve_blocks",
+    "plan_initial_runs",
+]
 
 
 @dataclass(frozen=True)
@@ -111,3 +118,77 @@ def partition_permutations(nperm: int, nranks: int) -> PartitionPlan:
         chunks.append(RankChunk(rank=rank, start=next_start, count=count))
         next_start += count
     return PartitionPlan(nperm=nperm, nranks=nranks, chunks=tuple(chunks))
+
+
+# -- block-granular carving (work-stealing scheduler) ---------------------------
+#
+# The static plan above assigns each rank one contiguous range up front; the
+# work-stealing scheduler instead carves the same range into fixed-size
+# blocks and hands them out dynamically.  Because the Philox keystream gives
+# O(1) seek to any permutation index and the counts are associative
+# per-block sums, *any* block-to-rank assignment reproduces the static
+# result bit for bit — the blocks only decide who computes what, never what
+# is computed.
+
+
+@dataclass(frozen=True)
+class Block:
+    """One contiguous permutation-index block of a steal schedule."""
+
+    #: Block index in carve order (0 = the block containing ``start``).
+    bid: int
+    #: First global permutation index of the block.
+    start: int
+    #: Number of permutation indices in the block.
+    count: int
+
+    @property
+    def stop(self) -> int:
+        """One past the last permutation index (``start + count``)."""
+        return self.start + self.count
+
+
+def carve_blocks(start: int, stop: int, block_size: int) -> tuple[Block, ...]:
+    """Carve ``[start, stop)`` into contiguous blocks of ``block_size``.
+
+    The final block absorbs the remainder (it may be short).  Blocks are
+    disjoint, ordered, and exactly cover the range — the invariant the
+    steal ledger re-checks at job end.
+    """
+    if stop <= start:
+        raise PermutationError(f"empty permutation range [{start}, {stop})")
+    if block_size <= 0:
+        raise PermutationError(f"block_size must be positive, got {block_size}")
+    blocks = []
+    at = start
+    while at < stop:
+        count = min(block_size, stop - at)
+        blocks.append(Block(bid=len(blocks), start=at, count=count))
+        at += count
+    return tuple(blocks)
+
+
+def plan_initial_runs(nblocks: int, nranks: int) -> tuple[range, ...]:
+    """Per-rank initial contiguous block runs; the rest form the steal pool.
+
+    Each rank starts on a deterministic run of blocks it computes without
+    asking the master — rank ``r`` owns ``runs[r]`` (a ``range`` of block
+    ids).  Rank 0's run starts at block 0, keeping the observed labelling
+    (permutation index 0) pinned to the master exactly as in the static
+    plan.  Runs are kept short — about a quarter of an even share — so most
+    blocks stay in the master's pool where stragglers shed them; with fewer
+    blocks than ranks, trailing ranks get empty runs and steal from the
+    start.
+    """
+    if nblocks <= 0:
+        raise PermutationError(f"nblocks must be positive, got {nblocks}")
+    if nranks <= 0:
+        raise PermutationError(f"nranks must be positive, got {nranks}")
+    run_len = max(1, nblocks // (4 * nranks))
+    runs = []
+    at = 0
+    for _ in range(nranks):
+        take = min(run_len, nblocks - at)
+        runs.append(range(at, at + take))
+        at += take
+    return tuple(runs)

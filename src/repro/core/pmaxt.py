@@ -50,12 +50,14 @@ usable here, in ``pcor`` and in the CLI without touching this module.
 
 from __future__ import annotations
 
+import itertools
+import time
 from dataclasses import dataclass
 from functools import partial
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import DataError, OptionError
 from ..mpi import Communicator, SUM, SerialComm
 from ..mpi.datasets import PublishedDataset, attach_published_view
 from ..mpi.session import BackendSession, resident_cache
@@ -71,9 +73,16 @@ from .kernel import (
     run_kernel,
 )
 from .options import MaxTOptions, build_generator, build_statistic, validate_options
-from .partition import partition_permutations
+from .partition import carve_blocks, partition_permutations, plan_initial_runs
 from .profile import SectionProfile, SectionTimer
 from .result import MaxTResult
+from .steal import (
+    DEFAULT_STEAL_BLOCK,
+    STEAL_TAG_BASE,
+    injected_delay,
+    run_steal_master,
+    run_steal_worker,
+)
 
 __all__ = ["lookup_cached", "pmaxT"]
 
@@ -124,6 +133,50 @@ def _unpack_options(t: tuple) -> MaxTOptions:
         store=bool(t[11]),
         dtype=_DTYPE_NAMES[t[12]],
     )
+
+
+# Per-process steal-epoch counter: every steal job gets a fresh
+# point-to-point tag (shipped to workers in the Step-2 broadcast), so a
+# frame sent by a rank that died mid-job can never be mistaken for a
+# message belonging to a later job on the same persistent world.
+_STEAL_EPOCH = itertools.count(1)
+
+
+def _resolve_schedule(schedule: str, steal_block: int | None,
+                      options: MaxTOptions, checkpoint_dir: str | None,
+                      world_size: int) -> tuple | None:
+    """Master-side schedule resolution (Step 1).
+
+    Returns ``None`` for the static Figure-2 plan or ``(block_size, tag)``
+    for the work-stealing schedule.  ``auto`` steals whenever it can:
+    multi-rank world, no stored permutations (stored mode materialises one
+    contiguous slice per rank) and no checkpointing (checkpoints assume the
+    static contiguous chunk).  The counts are bit-identical either way —
+    the schedule decides who computes each block, never what is computed.
+    """
+    if schedule not in ("auto", "static", "steal"):
+        raise OptionError(
+            f"schedule must be 'auto', 'static' or 'steal', got {schedule!r}")
+    if steal_block is not None and int(steal_block) < 1:
+        raise OptionError(f"steal_block must be >= 1, got {steal_block}")
+    if schedule == "static":
+        return None
+    blocked = []
+    if options.store:
+        blocked.append("stored permutations")
+    if checkpoint_dir is not None:
+        blocked.append("checkpointing")
+    if world_size <= 1:
+        blocked.append("a one-rank world")
+    if blocked:
+        if schedule == "steal":
+            raise OptionError(
+                f"schedule='steal' is incompatible with {', '.join(blocked)}")
+        return None
+    block_size = int(steal_block) if steal_block is not None \
+        else DEFAULT_STEAL_BLOCK
+    tag = STEAL_TAG_BASE + next(_STEAL_EPOCH) % 0x100000
+    return (block_size, tag)
 
 
 @dataclass
@@ -179,6 +232,8 @@ def pmaxT(
     cache=None,
     cache_dir: str | None = None,
     timeout: float | None = None,
+    schedule: str = "auto",
+    steal_block: int | None = None,
 ) -> MaxTResult | None:
     """Parallel Westfall–Young maxT permutation test (SPMD entry point).
 
@@ -203,6 +258,16 @@ def pmaxT(
     ``backend=``/``ranks=``/``session=`` paths (expiry raises
     :class:`~repro.errors.CommunicatorError` and, under a session, tears
     the worker pool down for respawn); ignored with ``comm=``.
+
+    ``schedule`` selects the permutation dispatch: ``"static"`` is the
+    paper's Figure-2 plan (one contiguous range per rank, fixed up
+    front), ``"steal"`` the block-granular work-stealing scheduler
+    (finished ranks steal blocks from stragglers via the master), and
+    ``"auto"`` (default) steals whenever the job allows it — multi-rank,
+    no stored permutations, no checkpointing.  Results are bit-identical
+    across schedules; ``steal_block`` tunes the permutations-per-block
+    granularity (default 256).  Neither knob enters the result-cache
+    key, for exactly that reason.
     """
     if isinstance(X, PublishedDataset) and classlabel is None:
         classlabel = X.labels
@@ -221,6 +286,7 @@ def pmaxT(
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=checkpoint_interval,
         timeout=timeout,
+        schedule=schedule, steal_block=steal_block,
     )
     if resolved_cache is None or comm is not None:
         return _pmaxt_run(X, classlabel, comm=comm, backend=backend,
@@ -395,6 +461,105 @@ def _pmaxt_cached(cache, X, classlabel, *, backend, ranks, session,
     return result
 
 
+def _resident_workspace(stat, chunk_size: int) -> KernelWorkspace | None:
+    """This rank's session-resident kernel workspace, if one is available.
+
+    Under a persistent session each rank keeps one
+    :class:`~repro.core.kernel.KernelWorkspace` warm across whole pmaxT
+    calls; outside a session there is no resident cache and the kernel
+    builds a private workspace per call.
+    """
+    cache = resident_cache()
+    if cache is None:
+        return None
+    workspace = cache.get("kernel_workspace")
+    if not (isinstance(workspace, KernelWorkspace)
+            and workspace.compatible_with(stat, chunk_size)):
+        workspace = KernelWorkspace.for_stat(stat, chunk_size)
+        cache["kernel_workspace"] = workspace
+    return workspace
+
+
+def _steal_kernel(comm, options: MaxTOptions, labels, stat, observed,
+                  range_start: int, range_stop: int,
+                  steal_spec: tuple) -> KernelCounts | None:
+    """Steps 4+5 under the work-stealing schedule.
+
+    Carves ``[range_start, range_stop)`` into blocks, runs the steal
+    protocol (:mod:`repro.core.steal`) and returns the world-total counts
+    on the master (``None`` on workers).  Block contributions are int64
+    count sums, so the dynamic assignment and out-of-order accumulation
+    are bit-identical to the static plan — the invariant the golden tests
+    pin across schedules and skew patterns.
+    """
+    from ..mpi.blasctl import apply_elastic_cap, get_blas_threads, set_blas_threads
+    from ..mpi.processes import ProcessComm
+
+    block_size, tag = steal_spec
+    blocks = carve_blocks(range_start, range_stop, block_size)
+    runs = plan_initial_runs(len(blocks), comm.size)
+    generator = build_generator(options, labels)
+    workspace = _resident_workspace(stat, options.chunk_size)
+    delay = injected_delay(comm.rank)
+
+    def compute_block(block):
+        counts = run_kernel(
+            stat, generator, observed, options.side,
+            start=block.start, count=block.count,
+            chunk_size=options.chunk_size,
+            first_is_observed=(block.start == 0),
+            workspace=workspace,
+        )
+        if delay > 0:
+            time.sleep(delay * block.count)
+        return counts
+
+    def merge(acc, contribution):
+        if acc is None:
+            # Fresh accumulator arrays: a worker abandons (never mutates)
+            # whatever it last sent, and the master must not fold peers'
+            # contributions into an object a sender might still hold (the
+            # threads backend passes messages by reference).
+            return KernelCounts(raw=contribution.raw.copy(),
+                                adjusted=contribution.adjusted.copy(),
+                                nperm=contribution.nperm)
+        acc += contribution
+        return acc
+
+    # Elastic BLAS re-caps: grants/stops carry the number of still-busy
+    # ranks, and each process-world rank widens (never narrows) its pool
+    # as peers go idle — the tail of a skewed job uses the whole host.
+    # In-process worlds share one BLAS pool, so they skip this.
+    recap = None
+    elastic: dict = {"current": None, "touched": False, "original": None}
+    if isinstance(comm, ProcessComm):
+        def recap(nactive: int) -> None:
+            if not elastic["touched"]:
+                elastic["touched"] = True
+                elastic["original"] = elastic["current"] = get_blas_threads()
+            elastic["current"] = apply_elastic_cap(nactive, elastic["current"])
+
+    try:
+        if comm.is_master:
+            acc, ledger, stats = run_steal_master(
+                comm, blocks, runs, compute_block, merge, tag=tag,
+                recap=recap)
+            # The coverage audit replacing the static path's reduced
+            # permutation accounting check.
+            ledger.assert_exact_cover(range_start, range_stop)
+            on_stats = getattr(comm, "_on_steal_stats", None)
+            if on_stats is not None:
+                on_stats(stats)
+            return acc
+        run_steal_worker(comm, blocks, runs[comm.rank], compute_block,
+                         merge, tag=tag, recap=recap)
+        return None
+    finally:
+        if (elastic["touched"] and elastic["original"] is not None
+                and elastic["current"] != elastic["original"]):
+            set_blas_threads(elastic["original"])
+
+
 def _pmaxt_run(
     X=None,
     classlabel=None,
@@ -420,6 +585,8 @@ def _pmaxt_run(
     perm_range: tuple | None = None,
     return_counts: bool = False,
     timeout: float | None = None,
+    schedule: str = "auto",
+    steal_block: int | None = None,
 ) -> MaxTResult | _RangeCounts | None:
     """The SPMD algorithm (cache-free half of :func:`pmaxT`).
 
@@ -482,6 +649,7 @@ def _pmaxt_run(
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_interval=checkpoint_interval,
                 perm_range=perm_range, return_counts=return_counts,
+                schedule=schedule, steal_block=steal_block,
             )
 
         # The worker-rank half for a persistent session (jobs cross a
@@ -497,8 +665,6 @@ def _pmaxt_run(
     if comm is None:
         comm = SerialComm()
     if blas_threads is not None and int(blas_threads) < 0:
-        from ..errors import OptionError
-
         raise OptionError(
             f"blas_threads must be >= 0 (0 disables capping), "
             f"got {blas_threads}")
@@ -543,12 +709,15 @@ def _pmaxt_run(
                 data, route = handle.resolve(
                     options.dtype,
                     options.na if options.dtype == "float32" else None)
+            steal_spec = _resolve_schedule(schedule, steal_block, options,
+                                           checkpoint_dir, comm.size)
             payload = (_pack_options(options), route, perm_range,
-                       bool(return_counts))
+                       bool(return_counts), steal_spec)
 
     # -- Step 2: broadcast scalar parameters --------------------------------
     with timer.section("broadcast_parameters"):
-        packed, route, perm_range, return_counts = comm.bcast(payload, root=0)
+        packed, route, perm_range, return_counts, steal_spec = \
+            comm.bcast(payload, root=0)
         options = _unpack_options(packed)
         if perm_range is None:
             perm_range = (0, options.nperm)
@@ -601,86 +770,102 @@ def _pmaxt_run(
             raise DataError("not all ranks completed data creation")
 
     # -- Step 4: local kernel over this rank's permutation chunk -------------
+    steal_totals: KernelCounts | None = None
     with timer.section("main_kernel"):
         stat = build_statistic(options, data, labels)
         observed = compute_observed(stat, options.side)
-        # Ranged runs (the cache's incremental-B extension) partition only
-        # the [range_start, range_stop) span; permutation i is the same
-        # pure function of (seed, i) either way, so a split run's counts
-        # sum to the cold run's bit-for-bit.
-        plan = partition_permutations(span, comm.size)
-        chunk = plan.chunk_for(comm.rank)
-        g_start = range_start + chunk.start
-        includes_observed = (g_start == 0 and chunk.count > 0)
-        if options.store:
-            # Stored mode materialises only this rank's slice; the stored
-            # generator replays with local indices, already "forwarded".
-            generator = build_generator(
-                options, labels, store_slice=(g_start, chunk.count)
-            )
-            kernel_args = dict(start=0, count=chunk.count,
-                               first_is_observed=includes_observed)
-        else:
-            generator = build_generator(options, labels)
-            kernel_args = dict(start=g_start, count=chunk.count,
-                               first_is_observed=includes_observed)
-        if checkpoint_dir is None:
-            # Under a session, each rank owns a resident KernelWorkspace
-            # that survives across pmaxT calls: a warm call of the same
-            # problem shape reuses the previous call's buffers (counts are
-            # bit-identical with or without a workspace — pinned by
-            # tests).  The checkpoint driver below manages its own
-            # workspace, so nothing is parked in the cache on that path.
-            cache = resident_cache()
-            workspace = None
-            if cache is not None:
-                workspace = cache.get("kernel_workspace")
-                if not (isinstance(workspace, KernelWorkspace)
-                        and workspace.compatible_with(stat,
-                                                      options.chunk_size)):
-                    workspace = KernelWorkspace.for_stat(stat,
-                                                         options.chunk_size)
-                    cache["kernel_workspace"] = workspace
-            counts = run_kernel(
-                stat, generator, observed, options.side,
-                chunk_size=options.chunk_size, workspace=workspace,
-                **kernel_args,
-            )
-        else:
-            from .checkpoint import (
-                CheckpointStore,
-                problem_fingerprint,
-                run_kernel_resumable,
-            )
+        if steal_spec is not None:
+            # Work-stealing schedule: the range is carved into blocks and
+            # dispatched dynamically (Steps 4 and 5 fuse — contributions
+            # ride the steal messages, so the static path's collective
+            # reductions below are skipped on every rank).
+            steal_totals = _steal_kernel(
+                comm, options, labels, stat, observed,
+                range_start, range_stop, steal_spec)
+        if steal_spec is None:
+            # Ranged runs (the cache's incremental-B extension) partition
+            # only the [range_start, range_stop) span; permutation i is
+            # the same pure function of (seed, i) either way, so a split
+            # run's counts sum to the cold run's bit-for-bit.
+            plan = partition_permutations(span, comm.size)
+            chunk = plan.chunk_for(comm.rank)
+            g_start = range_start + chunk.start
+            includes_observed = (g_start == 0 and chunk.count > 0)
+            if options.store:
+                # Stored mode materialises only this rank's slice; the
+                # stored generator replays with local indices, already
+                # "forwarded".
+                generator = build_generator(
+                    options, labels, store_slice=(g_start, chunk.count)
+                )
+                kernel_args = dict(start=0, count=chunk.count,
+                                   first_is_observed=includes_observed)
+            else:
+                generator = build_generator(options, labels)
+                kernel_args = dict(start=g_start, count=chunk.count,
+                                   first_is_observed=includes_observed)
+            if checkpoint_dir is None:
+                # Under a session, each rank owns a resident
+                # KernelWorkspace that survives across pmaxT calls: a warm
+                # call of the same problem shape reuses the previous
+                # call's buffers (counts are bit-identical with or without
+                # a workspace — pinned by tests).  The checkpoint driver
+                # below manages its own workspace, so nothing is parked in
+                # the cache on that path.
+                workspace = _resident_workspace(stat, options.chunk_size)
+                counts = run_kernel(
+                    stat, generator, observed, options.side,
+                    chunk_size=options.chunk_size, workspace=workspace,
+                    **kernel_args,
+                )
+            else:
+                from .checkpoint import (
+                    CheckpointStore,
+                    problem_fingerprint,
+                    run_kernel_resumable,
+                )
 
-            fingerprint = problem_fingerprint(
-                data, labels, options, g_start, chunk.count)
-            store = CheckpointStore(checkpoint_dir, rank=comm.rank)
-            counts = run_kernel_resumable(
-                stat, generator, observed, options.side,
-                store=store, fingerprint=fingerprint,
-                interval=checkpoint_interval,
-                chunk_size=options.chunk_size, **kernel_args,
-            )
-            store.clear()
+                fingerprint = problem_fingerprint(
+                    data, labels, options, g_start, chunk.count)
+                store = CheckpointStore(checkpoint_dir, rank=comm.rank)
+                counts = run_kernel_resumable(
+                    stat, generator, observed, options.side,
+                    store=store, fingerprint=fingerprint,
+                    interval=checkpoint_interval,
+                    chunk_size=options.chunk_size, **kernel_args,
+                )
+                store.clear()
+            delay = injected_delay(comm.rank)
+            if delay > 0:
+                # Straggler-injection hook (tests/benchmarks): the static
+                # plan pays the whole chunk's delay on the throttled rank.
+                time.sleep(delay * chunk.count)
 
     # -- Step 5: gather counts, compute p-values -----------------------------
     result: MaxTResult | _RangeCounts | None = None
     with timer.section("compute_pvalues"):
-        total_raw = comm.reduce_array(counts.raw, op=SUM, root=0)
-        total_adj = comm.reduce_array(counts.adjusted, op=SUM, root=0)
-        total_nperm = comm.reduce(counts.nperm, op=SUM, root=0)
-        if master:
-            if total_nperm != span:  # pragma: no cover - defensive
-                raise DataError(
-                    f"permutation accounting error: executed {total_nperm}, "
-                    f"expected {span}"
+        if steal_spec is not None:
+            # The master already holds the world totals (contributions
+            # rode the steal messages); no collective reductions run on
+            # any rank, so a mid-job worker death cannot strand the
+            # survivors in Step 5.
+            totals = steal_totals
+        else:
+            total_raw = comm.reduce_array(counts.raw, op=SUM, root=0)
+            total_adj = comm.reduce_array(counts.adjusted, op=SUM, root=0)
+            total_nperm = comm.reduce(counts.nperm, op=SUM, root=0)
+            if master:
+                totals = KernelCounts(
+                    raw=np.asarray(total_raw),
+                    adjusted=np.asarray(total_adj),
+                    nperm=int(total_nperm),
                 )
-            totals = KernelCounts(
-                raw=np.asarray(total_raw),
-                adjusted=np.asarray(total_adj),
-                nperm=int(total_nperm),
-            )
+        if master:
+            if totals.nperm != span:  # pragma: no cover - defensive
+                raise DataError(
+                    f"permutation accounting error: executed "
+                    f"{totals.nperm}, expected {span}"
+                )
             if return_counts:
                 # The caller (the result cache) sums these with a prior
                 # run's counts; p-values are computed once at the end.

@@ -14,6 +14,8 @@ permutation plan, so load balance and coverage share one tested code path.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..core.partition import partition_permutations
@@ -23,7 +25,50 @@ from ..mpi.datasets import PublishedDataset, attach_published_view
 from ..mpi.session import BackendSession
 from .serial import cor
 
-__all__ = ["pcor", "row_block"]
+__all__ = ["lookup_cached_pcor", "pcor", "pcor_cache_key", "row_block"]
+
+
+def pcor_cache_key(dataset_fp: str, *, use: str, na: float | None,
+                   y_fp: str | None = None) -> str:
+    """Key of a cached pcor result: dataset (x optional Y) x NA policy.
+
+    The correlation matrix is a pure function of the input bytes and the
+    missing-data handling, so those are the whole key.  Like
+    :func:`~repro.core.checkpoint.result_cache_key` the payload is
+    versioned and **frozen** — changing it orphans existing entries.
+    """
+    payload = ("pcor-cache-v1", dataset_fp, use, na, y_fp)
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def _pcor_key_for(X, Y, *, use: str, na: float | None) -> str:
+    """Cache key for a concrete pcor call (arrays or published handles)."""
+    from ..core.checkpoint import dataset_fingerprint
+
+    if isinstance(X, PublishedDataset):
+        x_fp = X.fingerprint
+    else:
+        x_fp = dataset_fingerprint(X)
+    y_fp = None if Y is None else dataset_fingerprint(Y)
+    return pcor_cache_key(x_fp, use=use, na=na, y_fp=y_fp)
+
+
+def lookup_cached_pcor(cache, X, Y=None, *, use: str = "everything",
+                       na: float | None = None) -> np.ndarray | None:
+    """Answer a pcor call from ``cache`` alone, or return ``None``.
+
+    The service front-end's short-circuit, mirroring
+    :func:`repro.core.pmaxt.lookup_cached`: a hit returns the stored
+    matrix (bit-identical to recomputing — each row is produced by the
+    same serial arithmetic regardless of world size) and bumps
+    ``cache.hits``; a miss returns ``None`` and leaves the counters
+    alone, so the caller routes the request through :func:`pcor`.
+    """
+    entry = cache.lookup_array("pcor", _pcor_key_for(X, Y, use=use, na=na))
+    if entry is None:
+        return None
+    cache.hits += 1
+    return entry["cor"]
 
 
 def _session_worker(comm: Communicator) -> np.ndarray | None:
@@ -50,7 +95,9 @@ def pcor(X=None, Y=None, *, use: str = "everything",
          ranks: int | None = None,
          session: BackendSession | None = None,
          blas_threads: int | None = None,
-         timeout: float | None = None) -> np.ndarray | None:
+         timeout: float | None = None,
+         cache=None,
+         cache_dir: str | None = None) -> np.ndarray | None:
     """Parallel Pearson correlation of matrix rows.
 
     SPMD entry point with the same contract as :func:`~repro.core.pmaxt.pmaxT`:
@@ -72,7 +119,43 @@ def pcor(X=None, Y=None, *, use: str = "everything",
     ``session.publish``: the matrix then never crosses the wire — workers
     map the published segment read-only.  ``timeout`` bounds the launched
     job's execution in seconds (ignored with ``comm=``).
+
+    ``cache``/``cache_dir`` enable the content-addressed result cache
+    (same machinery and directory as pmaxT's — resolution order ``cache``
+    > ``cache_dir`` > the session's cache): a repeated correlation of the
+    same bytes under the same NA policy is answered from disk.  The raw
+    SPMD path (``comm=``) bypasses the cache, exactly as in pmaxT.
     """
+    resolved_cache = cache
+    if resolved_cache is None and cache_dir is not None:
+        from ..core.checkpoint import ResultCache
+
+        resolved_cache = ResultCache(cache_dir)
+    if resolved_cache is None and session is not None:
+        resolved_cache = session.cache
+    if resolved_cache is not None and comm is None:
+        if X is None:
+            raise DataError("the master rank must supply X")
+        key = _pcor_key_for(X, Y, use=use, na=na)
+        entry = resolved_cache.lookup_array("pcor", key)
+        if entry is not None:
+            resolved_cache.hits += 1
+            return entry["cor"]
+        resolved_cache.misses += 1
+        result = _pcor_run(X, Y, use=use, na=na, comm=None, backend=backend,
+                           ranks=ranks, session=session,
+                           blas_threads=blas_threads, timeout=timeout)
+        resolved_cache.save_array("pcor", key, {"cor": result})
+        return result
+
+    return _pcor_run(X, Y, use=use, na=na, comm=comm, backend=backend,
+                     ranks=ranks, session=session, blas_threads=blas_threads,
+                     timeout=timeout)
+
+
+def _pcor_run(X, Y, *, use, na, comm, backend, ranks, session,
+              blas_threads, timeout) -> np.ndarray | None:
+    """The SPMD body of :func:`pcor` (cache orchestration lives above)."""
     if backend is not None or ranks is not None or session is not None:
         from ..mpi.backends import launch_master
 

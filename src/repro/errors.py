@@ -17,6 +17,7 @@ __all__ = [
     "CompletePermutationOverflow",
     "CommunicatorError",
     "CommAbort",
+    "WorkerDeadError",
     "ServiceError",
     "QueueFullError",
     "SprintError",
@@ -80,6 +81,21 @@ class CommAbort(CommunicatorError):
     def __init__(self, rank: int, message: str = ""):
         self.rank = rank
         super().__init__(f"rank {rank} aborted: {message}")
+
+
+class WorkerDeadError(CommunicatorError):
+    """A specific worker rank died (killed, OOMed) while the world ran.
+
+    Carries the dead rank so handlers with finer-grained recovery than
+    "tear the whole pool down" — the work-stealing scheduler requeues the
+    rank's in-flight blocks and finishes with the survivors — can act on
+    it.  Handlers that don't care catch :class:`CommunicatorError` and
+    get today's whole-pool respawn semantics unchanged.
+    """
+
+    def __init__(self, rank: int, message: str = ""):
+        self.rank = rank
+        super().__init__(f"worker rank {rank} died: {message}")
 
 
 class ServiceError(ReproError, RuntimeError):

@@ -244,6 +244,8 @@ def open_session(
     idle_timeout: float | None = None,
     job_timeout: float | None = None,
     cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
+    cache_max_age: float | None = None,
 ) -> BackendSession:
     """Open a persistent SPMD world for repeated dispatch.
 
@@ -266,7 +268,11 @@ def open_session(
     ``cache_dir`` attaches a content-addressed
     :class:`~repro.core.checkpoint.ResultCache` to the session: ``pmaxT``
     calls dispatched over it return repeated analyses as pure cache hits
-    and extend cached runs to larger ``B`` incrementally.
+    and extend cached runs to larger ``B`` incrementally (``pcor`` results
+    are cached in the same directory).  ``cache_max_bytes`` /
+    ``cache_max_age`` (seconds) bound the directory: the cache evicts
+    least-recently-used entries past the limits after every write, and
+    the session sweeps it once more on close.
 
     ``blas_threads`` fixes the per-rank BLAS policy for the session's
     lifetime; ``idle_timeout`` tears a persistent pool down after that
@@ -281,7 +287,13 @@ def open_session(
     if cache_dir is not None:
         from ..core.checkpoint import ResultCache
 
-        session.cache = ResultCache(cache_dir)
+        session.cache = ResultCache(cache_dir, max_bytes=cache_max_bytes,
+                                    max_age=cache_max_age)
+    elif cache_max_bytes is not None or cache_max_age is not None:
+        from ..errors import OptionError
+
+        raise OptionError(
+            "cache_max_bytes/cache_max_age require cache_dir")
     return session
 
 

@@ -38,6 +38,8 @@ __all__ = [
     "set_blas_threads",
     "blas_thread_limit",
     "recommended_blas_threads",
+    "elastic_blas_cap",
+    "apply_elastic_cap",
     "apply_worker_cap",
     "worker_cap_override",
 ]
@@ -183,6 +185,37 @@ def recommended_blas_threads(ranks: int) -> int:
     raw count would reintroduce exactly the oversubscription this fixes.
     """
     return max(1, effective_cpu_count() // max(1, int(ranks)))
+
+
+def elastic_blas_cap(nactive: int, cores: int | None = None) -> int:
+    """The per-rank BLAS budget when only ``nactive`` ranks are still busy.
+
+    The work-stealing scheduler's tail: once the block queue drains, idle
+    ranks stop computing and the survivors may widen their pools to
+    ``cores // nactive`` without oversubscribing the host.  Monotone in
+    shrinking ``nactive`` — with one rank left the whole machine is its.
+    """
+    if cores is None:
+        cores = effective_cpu_count()
+    return max(1, int(cores) // max(1, int(nactive)))
+
+
+def apply_elastic_cap(nactive: int, current: int | None) -> int | None:
+    """Widen (never narrow) this rank's BLAS pool for ``nactive`` busy ranks.
+
+    Returns the new cap if one was applied, else ``current``.  Widening
+    only: the steal protocol's ``nactive`` is a snapshot that can lag
+    reality, and narrowing on stale data would serialise a rank that is
+    about to receive more blocks.  The caller restores the original cap
+    when its job ends (:func:`blas_thread_limit` on the master,
+    a ``finally`` in the steal worker loop).
+    """
+    cap = elastic_blas_cap(nactive)
+    if current is not None and cap <= current:
+        return current
+    if set_blas_threads(cap) is None:
+        return current
+    return cap
 
 
 #: Environment override consulted by the worker bootstrap when no explicit

@@ -109,6 +109,33 @@ class Communicator(ABC):
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive from ``source``."""
 
+    def recv_any(self, tag: int = 0) -> tuple[int, Any]:
+        """Blocking receive from *any* source; returns ``(source, obj)``.
+
+        The ``MPI_ANY_SOURCE`` analogue the work-stealing master needs: it
+        cannot know which rank's block request arrives next.  Backends that
+        route point-to-point traffic through per-rank mailboxes implement
+        this; worlds without a steal control plane may leave the default,
+        which refuses rather than silently misbehaving.
+        """
+        from ..errors import CommunicatorError
+
+        raise CommunicatorError(
+            f"{type(self).__name__} does not support any-source receive"
+        )
+
+    def poll_any(self, tag: int = 0) -> tuple[int, Any] | None:
+        """Non-blocking :meth:`recv_any`; ``None`` when nothing is pending.
+
+        Lets the steal master interleave serving block requests with
+        computing its own blocks instead of parking in a blocking receive.
+        """
+        from ..errors import CommunicatorError
+
+        raise CommunicatorError(
+            f"{type(self).__name__} does not support any-source polling"
+        )
+
     # -- array-aware collectives ---------------------------------------------------
     #
     # The paper's Tables I–V show the "create data" broadcast and the final

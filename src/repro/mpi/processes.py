@@ -72,6 +72,13 @@ class ProcessComm(Communicator):
     point-to-point traffic and collective traffic cannot be confused.
     """
 
+    #: Session hooks attached to the master-rank communicator by
+    #: :class:`~repro.mpi.session.WorkerPoolSession`; the work-stealing
+    #: scheduler reads them via ``getattr``.  ``None`` on worker ranks and
+    #: in one-shot worlds.
+    _acknowledge_dead: Callable[[int], None] | None = None
+    _on_steal_stats: Callable[[dict], None] | None = None
+
     def __init__(self, rank: int, size: int, inboxes, timeout: float = _DEFAULT_TIMEOUT):
         self._rank = rank
         self._size = size
@@ -270,6 +277,33 @@ class ProcessComm(Communicator):
             )
         _, payload = self._get("p2p", source, tag)
         return payload
+
+    def recv_any(self, tag: int = 0) -> tuple[int, Any]:
+        src, payload = self._get("p2p", None, tag)
+        return src, payload
+
+    def poll_any(self, tag: int = 0) -> tuple[int, Any] | None:
+        """Non-blocking any-source receive.
+
+        Checks the stash first, then drains the inbox without blocking,
+        stashing anything that is not a matching point-to-point frame (a
+        collective payload drained here must survive for the collective
+        that expects it).
+        """
+        for i, msg in enumerate(self._stash):
+            k, src, t, payload = msg
+            if k == "p2p" and t == tag:
+                del self._stash[i]
+                return src, payload
+        while True:
+            try:
+                msg = self._inboxes[self._rank].get_nowait()
+            except (queue_mod.Empty, OSError, ValueError, EOFError):
+                return None
+            k, src, t, payload = msg
+            if k == "p2p" and t == tag:
+                return src, payload
+            self._stash.append(msg)
 
     def _check_root(self, root: int) -> None:
         if not 0 <= root < self._size:

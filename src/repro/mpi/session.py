@@ -78,7 +78,7 @@ from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from typing import Any, Callable
 
-from ..errors import CommunicatorError, OptionError
+from ..errors import CommunicatorError, OptionError, WorkerDeadError
 from .comm import Communicator
 from .processes import _DEFAULT_TIMEOUT, _join_or_kill, ProcessComm
 
@@ -502,6 +502,7 @@ class BackendSession(ABC):
             "cache_hits": 0,
             "cache_misses": 0,
             "cache_extended": 0,
+            "cache_evictions": 0,
         }
         if self._datasets is not None:
             stats["publishes"] = self._datasets.publishes
@@ -516,6 +517,14 @@ class BackendSession(ABC):
             raise CommunicatorError(
                 f"session on backend {self.backend_name!r} is closed"
             )
+
+    def _sweep_cache(self) -> None:
+        """Close-time cache sweep (no-op without configured limits)."""
+        if self.cache is not None:
+            try:
+                self.cache.sweep()
+            except OSError:  # pragma: no cover - cache dir went away
+                pass
 
     def __enter__(self) -> "BackendSession":
         return self
@@ -601,6 +610,7 @@ class EphemeralSession(BackendSession):
         self._closed = True
         self._shutdown_dispatcher()
         self._drop_datasets()
+        self._sweep_cache()
 
     def _publish_via_shm(self) -> bool:
         # Fork-type one-shot worlds inherit nothing between jobs, so a
@@ -658,6 +668,7 @@ def _pool_worker(
     job_timeout,
     blas_threads,
     parent_pid,
+    start_opseq=0,
 ):  # pragma: no cover - runs in the child process
     """Resident worker main: serve job frames until stopped or orphaned."""
     from .blasctl import apply_worker_cap
@@ -667,6 +678,11 @@ def _pool_worker(
     # pool incarnation, shared by every job this worker serves.
     _LOCAL.cache = {}
     comm = comm_cls(rank, size, inboxes, job_timeout)
+    # A rank respawned into a live pool (single-rank fault recovery) must
+    # join the survivors' collective numbering: every job leaves the
+    # world's sequence numbers equal across ranks, so the master's value
+    # at respawn time is the right starting point.
+    comm._opseq = start_opseq
     inbox = inboxes[rank]
     while True:
         try:
@@ -682,8 +698,13 @@ def _pool_worker(
         kind, gen, seq, wire = frame
         if kind == _STOP_KIND:
             return
-        if kind != _JOB_KIND or gen != generation:
+        if kind != _JOB_KIND or gen < generation:
             # Stale framing from a previous pool incarnation: drop it.
+            # The comparison is drop-only-older because single-rank
+            # respawns bump the generation without restarting the
+            # survivors: an older worker must accept newer-generation
+            # jobs, while a freshly respawned rank must drop the stale
+            # frame of the job its predecessor died in.
             continue
         try:
             job = pickle.loads(wire)
@@ -742,6 +763,27 @@ def _proc_defunct(proc) -> bool:
     return state in ("Z", "X", "x")
 
 
+def _release_orphaned_reader_lock(q) -> None:
+    """Free a queue reader lock orphaned by a SIGKILLed consumer.
+
+    A pool inbox has exactly one consumer — its rank.  A worker killed
+    while blocked in ``get()`` dies holding the queue's reader semaphore,
+    and a rank respawned onto the same queue would deadlock on its first
+    ``get``.  Try-acquire then release leaves the semaphore at exactly one
+    available in both cases (already free, or held by the dead process);
+    no live process can contend, because the old consumer is dead and the
+    new one has not started.
+    """
+    lock = getattr(q, "_rlock", None)
+    if lock is None:  # pragma: no cover - non-fork queue implementation
+        return
+    lock.acquire(block=False)
+    try:
+        lock.release()
+    except ValueError:  # pragma: no cover - value already at maximum
+        pass
+
+
 def _reap_pool(procs, queues):
     """GC/atexit fallback: kill an unclosed pool and release its queues."""
     for p in procs:
@@ -787,6 +829,10 @@ class _WatchfulInbox:
                 return self._queue.get(timeout=min(_HEALTH_POLL_S, remaining))
             except queue_mod.Empty:
                 self._health()
+
+    def get_nowait(self):
+        """Non-blocking read (the steal master's ``poll_any`` path)."""
+        return self._queue.get_nowait()
 
     def put(self, item) -> None:  # pragma: no cover - conformance only
         self._queue.put(item)
@@ -852,6 +898,18 @@ class WorkerPoolSession(BackendSession):
         self.spawns = 0
         #: Successfully completed jobs.
         self.jobs_run = 0
+        #: Single-rank respawns (fault-granular recovery: one worker died
+        #: mid-steal, the survivors kept their warm state).
+        self.rank_respawns = 0
+        #: Jobs that ran under the work-stealing schedule.
+        self.steal_jobs = 0
+        #: Blocks served on demand (beyond the initial runs) across all
+        #: steal jobs.
+        self.blocks_stolen = 0
+        #: Ranks whose mid-job death was acknowledged by the steal master
+        #: (the job completed without them); respawned one at a time by
+        #: the next dispatch instead of tearing the whole pool down.
+        self._dead_ranks: set[int] = set()
 
     # -- introspection -----------------------------------------------------
 
@@ -886,6 +944,9 @@ class WorkerPoolSession(BackendSession):
         stats = super().stats()
         stats["spawns"] = self.spawns
         stats["warm"] = self.warm
+        stats["rank_respawns"] = self.rank_respawns
+        stats["steal_jobs"] = self.steal_jobs
+        stats["blocks_stolen"] = self.blocks_stolen
         comm = self._master_comm
         stats["bcast_array_bytes"] = (
             getattr(comm, "array_bytes", 0) if comm is not None else 0)
@@ -933,7 +994,10 @@ class WorkerPoolSession(BackendSession):
                 self._job_timeout if timeout is None else timeout
             )
             collected = 0
-            while collected < self._ranks - 1:
+            # Ranks whose death the steal master acknowledged mid-job
+            # will never report a result; the job still completes (their
+            # blocks were requeued), so they are not waited for.
+            while collected < self._ranks - 1 - len(self._dead_ranks):
                 egen, eseq, rank, ok, payload = self._take_result(deadline)
                 if egen != gen or eseq != seq:
                     continue  # stale entry from a torn-down incarnation
@@ -1008,23 +1072,98 @@ class WorkerPoolSession(BackendSession):
                     f"{message}\n--- worker traceback ---\n{tb}"
                 )
         for rank, proc in enumerate(self._procs or [], start=1):
+            if rank in self._dead_ranks:
+                continue  # already acknowledged; the job continues without it
             if _proc_defunct(proc):
-                raise CommunicatorError(
-                    f"session worker rank {rank} (pid {proc.pid}) died "
-                    f"unexpectedly (exitcode {proc.exitcode}); the pool "
-                    "will be respawned on the next dispatch"
+                raise WorkerDeadError(
+                    rank,
+                    f"pid {proc.pid} exited unexpectedly (exitcode "
+                    f"{proc.exitcode}); it will be respawned on the next "
+                    "dispatch",
                 )
+
+    def _acknowledge_dead_rank(self, rank: int) -> None:
+        """Steal-master hook: rank's death is handled, don't re-raise it."""
+        self._dead_ranks.add(rank)
+
+    def _note_steal_stats(self, stats: dict) -> None:
+        """Steal-master hook: accumulate one steal job's statistics."""
+        self.steal_jobs += 1
+        self.blocks_stolen += int(stats.get("blocks_stolen", 0))
 
     # -- pool lifecycle ----------------------------------------------------
 
     def _ensure_pool(self) -> None:
         if self._procs is not None:
-            if not any(_proc_defunct(p) for p in self._procs):
+            defunct = {
+                rank
+                for rank, p in enumerate(self._procs, start=1)
+                if _proc_defunct(p)
+            }
+            if not defunct:
+                self._dead_ranks.clear()
                 return
-            # A worker died between jobs (kill -9, OOM): the control plane
-            # may hold its unconsumed frames, so rebuild the whole world.
+            if defunct <= self._dead_ranks:
+                # Every dead rank died mid-steal and the master already
+                # accounted for it (its blocks were requeued, the job
+                # completed, no collective is half-finished): respawn only
+                # those ranks.  Survivors keep their warm resident caches
+                # and published-dataset attachments.
+                for rank in sorted(defunct):
+                    self._respawn_rank(rank)
+                self._dead_ranks.clear()
+                return
+            # An unacknowledged death (kill between jobs, or outside the
+            # steal loop): the control plane may hold the dead rank's
+            # unconsumed frames mid-collective, so rebuild the whole world.
             self._teardown_pool(graceful=False)
         self._spawn_pool()
+
+    def _respawn_rank(self, rank: int) -> None:
+        """Replace one dead worker in a live pool (fault-granular respawn).
+
+        The new process inherits the pool's queues — safe because the
+        dead rank's death was acknowledged at a message boundary — under a
+        bumped generation tag, so the stale job frame its predecessor died
+        in is dropped on arrival.  Its collective sequence number starts
+        at the master's current value (every completed job leaves the
+        world's numbering equal across ranks).
+        """
+        ctx = mp.get_context("fork")
+        old = self._procs[rank - 1]
+        if old.is_alive():  # defunct-but-unreaped (Z state): finish it
+            old.terminate()
+        _join_or_kill([old], timeout=5.0)
+        comm = self._master_comm
+        # Frames the dead rank sent before dying may still sit in the
+        # master's out-of-order stash; they belong to no live protocol.
+        comm._stash = [m for m in comm._stash if m[1] != rank]
+        # A rank killed while blocked in ``inbox.get()`` dies holding the
+        # queue's reader lock; its successor reuses the queue.
+        _release_orphaned_reader_lock(self._inboxes[rank])
+        self._generation += 1
+        p = ctx.Process(
+            target=_pool_worker,
+            args=(
+                self._comm_cls,
+                rank,
+                self._ranks,
+                self._inboxes,
+                self._results_q,
+                self._generation,
+                self._job_timeout,
+                self._blas_threads,
+                os.getpid(),
+                comm._opseq,
+            ),
+            name=f"spmd-pool-{self.backend_name}-{rank}",
+            daemon=True,
+        )
+        p.start()
+        # In-place replacement keeps the finalizer's list (registered at
+        # spawn over this same object) current.
+        self._procs[rank - 1] = p
+        self.rank_respawns += 1
 
     def _spawn_pool(self) -> None:
         ctx = mp.get_context("fork")
@@ -1062,6 +1201,12 @@ class WorkerPoolSession(BackendSession):
         self._master_comm = self._comm_cls(
             0, self._ranks, master_inboxes, self._job_timeout
         )
+        # Steal-scheduler hooks: the master-side loop acknowledges worker
+        # deaths (enabling single-rank respawn instead of pool teardown)
+        # and reports per-job steal statistics through the communicator.
+        self._master_comm._acknowledge_dead = self._acknowledge_dead_rank
+        self._master_comm._on_steal_stats = self._note_steal_stats
+        self._dead_ranks = set()
         self.spawns += 1
         self._finalizer = weakref.finalize(
             self, _reap_pool, procs, [*self._inboxes, self._results_q]
@@ -1075,6 +1220,7 @@ class WorkerPoolSession(BackendSession):
         self._results_q = None
         self._result_buffer = []
         self._master_comm = None
+        self._dead_ranks = set()
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
@@ -1119,6 +1265,7 @@ class WorkerPoolSession(BackendSession):
             # After the workers are gone: their mappings of published
             # segments are released, so the unlink frees the pages too.
             self._drop_datasets()
+        self._sweep_cache()
 
     # -- idle teardown -----------------------------------------------------
 

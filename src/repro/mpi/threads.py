@@ -181,6 +181,28 @@ class ThreadComm(Communicator):
                             return obj
                 w._mail_lock.wait(timeout=0.1)
 
+    def recv_any(self, tag: int = 0) -> Any:
+        w = self._world
+        key = (self._rank, tag)
+        with w._mail_lock:
+            while True:
+                if w._aborted.is_set():
+                    raise CommAbort(w._abort_rank or -1, "world aborted during recv")
+                queue = w._mail.get(key)
+                if queue:
+                    return queue.popleft()
+                w._mail_lock.wait(timeout=0.1)
+
+    def poll_any(self, tag: int = 0) -> Any:
+        w = self._world
+        with w._mail_lock:
+            if w._aborted.is_set():
+                raise CommAbort(w._abort_rank or -1, "world aborted during recv")
+            queue = w._mail.get((self._rank, tag))
+            if queue:
+                return queue.popleft()
+            return None
+
 
 def run_spmd(
     fn: Callable[[Communicator], Any], size: int, timeout: float | None = None

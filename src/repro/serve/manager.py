@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core.pmaxt import _dataset_fp_for, lookup_cached, pmaxT
 from ..corr import pcor
+from ..corr.parallel import lookup_cached_pcor
 from ..errors import (
     CommunicatorError,
     DataError,
@@ -64,6 +65,8 @@ PMAXT_PARAMS = frozenset(
         "complete_limit",
         "dtype",
         "row_names",
+        "schedule",
+        "steal_block",
     }
 )
 PCOR_PARAMS = frozenset({"use", "na"})
@@ -95,6 +98,9 @@ class _Pool:
             "jobs_failed": self.jobs_failed,
             "warm": getattr(self.session, "warm", True),
             "spawns": getattr(self.session, "spawns", 0),
+            "rank_respawns": getattr(self.session, "rank_respawns", 0),
+            "steal_jobs": getattr(self.session, "steal_jobs", 0),
+            "blocks_stolen": getattr(self.session, "blocks_stolen", 0),
         }
 
 
@@ -269,12 +275,20 @@ class PoolManager:
 
     def _try_cache(self, spec: JobSpec):
         """Exact-hit short-circuit: answer from disk, touch no pool."""
-        if self.cache is None or spec.kind != "pmaxt":
+        if self.cache is None:
             return None
         try:
-            return lookup_cached(self.cache, spec.data, spec.labels, **spec.params)
+            if spec.kind == "pmaxt":
+                # Scheduling knobs never enter the cache key (the steal
+                # plan is bit-identical to the static one by construction).
+                params = {k: v for k, v in spec.params.items()
+                          if k not in ("schedule", "steal_block")}
+                return lookup_cached(self.cache, spec.data, spec.labels, **params)
+            if spec.kind == "pcor":
+                return lookup_cached_pcor(self.cache, spec.data, **spec.params)
         except (OptionError, DataError):
             return None  # invalid requests fail on the pool path instead
+        return None
 
     # -- pool runners ------------------------------------------------------
 
@@ -405,6 +419,12 @@ class PoolManager:
                 "cache_answers": self.cache_answers,
                 "jobs_per_s": self.jobs_done / elapsed,
                 "uptime_s": elapsed,
+                "rank_respawns": sum(
+                    getattr(p.session, "rank_respawns", 0) for p in self._pools),
+                "steal_jobs": sum(
+                    getattr(p.session, "steal_jobs", 0) for p in self._pools),
+                "blocks_stolen": sum(
+                    getattr(p.session, "blocks_stolen", 0) for p in self._pools),
                 "pool_details": [p.to_dict() for p in self._pools],
             }
             if self.cache is not None:

@@ -289,3 +289,183 @@ class TestDirectoryLock:
         for t in threads:
             t.join(timeout=10)
         assert errors == []
+
+
+class TestEviction:
+    """max_bytes / max_age limits and the LRU sweep (ROADMAP follow-up)."""
+
+    def test_sweep_without_limits_is_noop(self, dataset, cache):
+        X, y = dataset
+        pmaxT(X, y, B=100, seed=1, cache=cache)
+        assert cache.sweep() == 0
+        assert len(cache.entries()) == 1
+
+    def test_age_sweep_drops_stale_entries(self, dataset, cache):
+        import os
+        import time as time_mod
+
+        X, y = dataset
+        pmaxT(X, y, B=100, seed=1, cache=cache)
+        pmaxT(X, y, B=100, seed=2, cache=cache)
+        stale = sorted(cache.directory.glob("*.npz"))[0]
+        old = time_mod.time() - 3_600
+        os.utime(stale, (old, old))
+        assert cache.sweep(max_age=60) == 1
+        assert not stale.exists()
+        assert len(cache.entries()) == 1
+        assert cache.evictions == 1
+
+    def test_byte_sweep_is_least_recently_used(self, dataset, cache):
+        import os
+        import time as time_mod
+
+        X, y = dataset
+        runs = [pmaxT(X, y, B=100, seed=s, cache=cache) for s in (1, 2, 3)]
+        paths = sorted(cache.directory.glob("*.npz"),
+                       key=lambda p: p.stat().st_mtime)
+        # Backdate all three, then *use* the oldest-written entry: the
+        # lookup touch must promote it past the byte-budget sweep.
+        for i, path in enumerate(paths):
+            old = time_mod.time() - 1_000 + i
+            os.utime(path, (old, old))
+        used = pmaxT(X, y, B=100, seed=1, cache=cache)
+        _same(used, runs[0])
+        keep = paths[0].stat().st_size
+        removed = cache.sweep(max_bytes=keep)
+        assert removed == 2
+        survivors = list(cache.directory.glob("*.npz"))
+        assert survivors == [paths[0]]
+        # ... and the survivor still answers.
+        again = pmaxT(X, y, B=100, seed=1, cache=cache)
+        _same(again, runs[0])
+
+    def test_constructed_limits_auto_sweep_on_save(self, dataset, tmp_path):
+        X, y = dataset
+        first = pmaxT(X, y, B=100, seed=1,
+                      cache=ResultCache(tmp_path / "c"))
+        size = next((tmp_path / "c").glob("*.npz")).stat().st_size
+        capped = ResultCache(tmp_path / "c", max_bytes=int(size * 1.5))
+        pmaxT(X, y, B=100, seed=2, cache=capped)  # save + auto-sweep
+        assert capped.evictions == 1
+        assert len(capped.entries()) == 1
+        assert capped.stats()["cache_evictions"] == 1
+        del first
+
+    def test_bad_limits_rejected(self, tmp_path):
+        from repro.errors import DataError
+
+        with pytest.raises(DataError, match="max_bytes"):
+            ResultCache(tmp_path / "c", max_bytes=0)
+        with pytest.raises(DataError, match="max_age"):
+            ResultCache(tmp_path / "c", max_age=-1.0)
+
+    def test_session_sweeps_cache_on_close(self, dataset, tmp_path):
+        import os
+        import time as time_mod
+
+        X, y = dataset
+        with open_session("threads", 2, cache_dir=str(tmp_path / "c"),
+                          cache_max_age=60.0) as ses:
+            pmaxT(X, y, B=100, seed=1, session=ses)
+            entry = next((tmp_path / "c").glob("*.npz"))
+            old = time_mod.time() - 3_600
+            os.utime(entry, (old, old))
+        assert not entry.exists()
+
+    def test_session_limits_require_cache_dir(self):
+        from repro.errors import OptionError
+
+        with pytest.raises(OptionError, match="cache_dir"):
+            open_session("threads", 2, cache_max_bytes=1024)
+
+
+class TestArrayEntries:
+    """Generic npz entries (the pcor result family)."""
+
+    def test_roundtrip_bit_identical(self, cache):
+        rng = np.random.default_rng(0)
+        cor = rng.normal(size=(12, 12))
+        cache.save_array("pcor", "k" * 8, {"cor": cor})
+        entry = cache.lookup_array("pcor", "k" * 8)
+        assert np.array_equal(entry["cor"], cor)
+
+    def test_miss_returns_none(self, cache):
+        assert cache.lookup_array("pcor", "missing") is None
+
+    def test_clear_covers_array_entries(self, dataset, cache):
+        X, y = dataset
+        pmaxT(X, y, B=100, seed=1, cache=cache)
+        cache.save_array("pcor", "k" * 8, {"cor": np.eye(3)})
+        assert cache.clear() == 2
+        assert cache.lookup_array("pcor", "k" * 8) is None
+
+
+class TestPcorCache:
+    """pcor through the same content-addressed cache (satellite)."""
+
+    def test_hit_is_bit_identical(self, dataset, cache):
+        from repro.corr import cor, pcor
+
+        X, _ = dataset
+        direct = cor(X)
+        first = pcor(X, cache=cache)
+        hit = pcor(X, cache=cache)
+        assert np.array_equal(first, direct, equal_nan=True)
+        assert np.array_equal(hit, direct, equal_nan=True)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_na_policy_separates_keys(self, dataset, cache):
+        from repro.corr import pcor
+
+        X, _ = dataset
+        pcor(X, cache=cache)
+        pcor(X, use="pairwise", na=-1.0, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_two_matrix_form_keys_on_both(self, dataset, cache):
+        from repro.corr import pcor
+
+        X, _ = dataset
+        Y = X[:5]
+        a = pcor(X, Y, cache=cache)
+        b = pcor(X, Y, cache=cache)
+        assert np.array_equal(a, b, equal_nan=True)
+        assert (cache.hits, cache.misses) == (1, 1)
+        pcor(X, X[:4], cache=cache)
+        assert cache.misses == 2
+
+    def test_lookup_cached_pcor_short_circuit(self, dataset, cache):
+        from repro.corr import cor
+        from repro.corr.parallel import lookup_cached_pcor, pcor
+
+        X, _ = dataset
+        assert lookup_cached_pcor(cache, X) is None
+        pcor(X, cache=cache)
+        answer = lookup_cached_pcor(cache, X)
+        assert np.array_equal(answer, cor(X), equal_nan=True)
+
+    def test_published_handle_shares_raw_array_entry(self, dataset,
+                                                     tmp_path):
+        from repro.corr import cor, pcor
+
+        X, _ = dataset
+        with open_session("shm", 2, cache_dir=str(tmp_path / "c")) as ses:
+            handle = ses.publish(X)
+            via_handle = pcor(handle, session=ses)
+            assert ses.cache.misses == 1
+            # The handle's fingerprint equals the raw array's, so the
+            # entry answers a plain-array call against the same bytes.
+            fresh = ResultCache(tmp_path / "c")
+            via_array = pcor(X, cache=fresh)
+            assert fresh.hits == 1
+        assert np.array_equal(via_handle, cor(X), equal_nan=True)
+        assert np.array_equal(via_array, via_handle)
+
+    def test_comm_path_bypasses_cache(self, dataset, cache):
+        from repro.corr import pcor
+        from repro.mpi import SerialComm
+
+        X, _ = dataset
+        out = pcor(X, comm=SerialComm(), cache=cache)
+        assert np.array_equal(out, pcor(X), equal_nan=True)
+        assert (cache.hits, cache.misses) == (0, 0)

@@ -236,3 +236,63 @@ class TestCacheAndIdentity:
             assert stats["max_queue"] == 4
             assert manager.healthy()
         assert not manager.healthy()
+
+
+class TestStealAtServiceTier:
+    """The scheduler satellites surfaced through the service front-end."""
+
+    def test_schedule_params_accepted_and_identical(self, dataset):
+        X, y = dataset
+        direct = pmaxT(X, y, B=300, seed=3)
+        with PoolManager("shm", 3, pools=1) as manager:
+            out = manager.submit_pmaxt(
+                X, y, B=300, seed=3, schedule="steal",
+                steal_block=50).result(timeout=120)
+            stats = manager.stats()
+        assert np.array_equal(out.adjp, direct.adjp)
+        assert np.array_equal(out.rawp, direct.rawp)
+        assert stats["steal_jobs"] == 1
+
+    def test_steal_counters_in_stats(self):
+        with PoolManager("serial", 1, pools=1) as manager:
+            stats = manager.stats()
+        for key in ("rank_respawns", "steal_jobs", "blocks_stolen"):
+            assert key in stats, key
+            assert stats["pool_details"][0][key] == 0
+
+    def test_schedule_params_do_not_break_cache_key(self, dataset,
+                                                    tmp_path):
+        # schedule/steal_block change who computes, never the bits: a
+        # steal run must be answerable from a cache entry written by a
+        # static run, and vice versa.
+        X, y = dataset
+        with PoolManager("shm", 3, pools=1,
+                         cache_dir=str(tmp_path / "c")) as manager:
+            first = manager.submit_pmaxt(X, y, B=200, seed=5,
+                                         schedule="static")
+            a = first.result(timeout=120)
+            second = manager.submit_pmaxt(X, y, B=200, seed=5,
+                                          schedule="steal", steal_block=64)
+            b = second.result(timeout=120)
+            assert second.cached
+            assert manager.stats()["cache_answers"] == 1
+        assert np.array_equal(a.adjp, b.adjp)
+
+    def test_pcor_cache_short_circuit(self, dataset, tmp_path):
+        from repro.corr import cor
+
+        X, _ = dataset
+        with PoolManager("threads", 2, pools=1,
+                         cache_dir=str(tmp_path / "c")) as manager:
+            first = manager.submit_pcor(X)
+            a = first.result(timeout=60)
+            assert not first.cached
+            pool_jobs = manager.stats()["pool_details"][0]["jobs_done"]
+            second = manager.submit_pcor(X)
+            b = second.result(timeout=60)
+            assert second.cached
+            stats = manager.stats()
+            assert stats["cache_answers"] == 1
+            assert stats["pool_details"][0]["jobs_done"] == pool_jobs
+        assert np.array_equal(a, cor(X), equal_nan=True)
+        assert np.array_equal(b, a, equal_nan=True)
