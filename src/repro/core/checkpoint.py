@@ -537,6 +537,8 @@ def run_kernel_resumable(
     chunk_size: int = DEFAULT_CHUNK,
     first_is_observed: bool | None = None,
     fail_after: int | None = None,
+    engine=None,
+    engine_batch: int | None = None,
 ) -> KernelCounts:
     """Run the kernel over ``[start, start + count)`` with checkpointing.
 
@@ -571,7 +573,8 @@ def run_kernel_resumable(
         counts = KernelCounts.zeros(observed.m)
 
     # One workspace serves every checkpoint interval of this problem.
-    workspace = KernelWorkspace.for_stat(stat, chunk_size)
+    workspace = KernelWorkspace.for_stat(stat, chunk_size, engine=engine,
+                                         engine_batch=engine_batch)
     processed_now = 0
     while done < count:
         step = min(interval, count - done)
@@ -583,6 +586,7 @@ def run_kernel_resumable(
                     start=start + done, count=step, chunk_size=chunk_size,
                     first_is_observed=first_is_observed and done == 0,
                     workspace=workspace,
+                    engine=engine, engine_batch=engine_batch,
                 )
                 counts += piece
                 done += step
@@ -595,6 +599,7 @@ def run_kernel_resumable(
             start=start + done, count=step, chunk_size=chunk_size,
             first_is_observed=first_is_observed and done == 0,
             workspace=workspace,
+            engine=engine, engine_batch=engine_batch,
         )
         counts += piece
         done += step

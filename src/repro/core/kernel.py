@@ -151,10 +151,18 @@ class KernelWorkspace:
         are served as leading-slice views.
     dtype:
         Compute dtype of the statistic this workspace will partner.
+    engine:
+        Optional :class:`~repro.accel.base.ArrayOps` compute engine.  The
+        statistic pool binds to it (GEMMs run on its arrays) and the
+        encoding buffer grows to an engine super-batch so batched
+        keystream sorts amortise their setup.
+    engine_batch:
+        Rows per engine super-batch; defaults to the engine's own
+        ``batch_rows``.  Ignored without an engine.
     """
 
     def __init__(self, m: int, width: int, chunk_size: int,
-                 dtype=np.float64):
+                 dtype=np.float64, engine=None, engine_batch: int | None = None):
         if chunk_size <= 0:
             raise PermutationError(
                 f"chunk_size must be positive, got {chunk_size}")
@@ -162,24 +170,51 @@ class KernelWorkspace:
         self.width = int(width)
         self.chunk_size = int(chunk_size)
         self.dtype = np.dtype(dtype)
+        self.engine = engine
+        if engine is None:
+            self.engine_batch = 0
+            enc_rows = self.chunk_size
+        else:
+            rows = engine.batch_rows if engine_batch is None else int(engine_batch)
+            self.engine_batch = max(rows, self.chunk_size)
+            enc_rows = self.engine_batch
         #: Encoding buffer handed to ``generator.take_batch(out=...)``.
-        self.enc = np.empty((self.chunk_size, self.width), dtype=np.int64)
+        self.enc = np.empty((enc_rows, self.width), dtype=np.int64)
         #: Named statistic scratch pool threaded through ``stat.batch``.
-        self.pool = WorkBuffers()
+        self.pool = WorkBuffers(engine)
+        #: Host landing buffer for engine-native score batches.  Needed
+        #: whenever the pool's arrays are not plain ndarrays (torch-CPU
+        #: included), since the counting step below is host NumPy.
+        self.host_scores = (
+            np.empty((self.m, self.chunk_size), dtype=self.dtype)
+            if engine is not None and engine.xp is not np else None)
         self._ordered = np.empty((self.m, self.chunk_size), dtype=self.dtype)
         self._flags = np.empty((self.m, self.chunk_size), dtype=bool)
 
     @classmethod
-    def for_stat(cls, stat: TestStatistic,
-                 chunk_size: int = DEFAULT_CHUNK) -> "KernelWorkspace":
+    def for_stat(cls, stat: TestStatistic, chunk_size: int = DEFAULT_CHUNK,
+                 engine=None,
+                 engine_batch: int | None = None) -> "KernelWorkspace":
         """A workspace matching one bound statistic's problem shape."""
-        return cls(stat.m, stat.width, chunk_size, stat.compute_dtype)
+        return cls(stat.m, stat.width, chunk_size, stat.compute_dtype,
+                   engine=engine, engine_batch=engine_batch)
 
-    def compatible_with(self, stat: TestStatistic, chunk_size: int) -> bool:
+    def compatible_with(self, stat: TestStatistic, chunk_size: int,
+                        engine=None, engine_batch: int | None = None) -> bool:
         """Whether this workspace can serve ``stat`` at ``chunk_size``."""
-        return (self.m == stat.m and self.width == stat.width
+        if not (self.m == stat.m and self.width == stat.width
                 and self.chunk_size >= chunk_size
-                and self.dtype == stat.compute_dtype)
+                and self.dtype == stat.compute_dtype):
+            return False
+        mine = None if self.engine is None else self.engine.name
+        theirs = None if engine is None else engine.name
+        if mine != theirs:
+            return False
+        if engine is not None:
+            rows = engine.batch_rows if engine_batch is None else int(engine_batch)
+            if self.engine_batch < max(rows, chunk_size):
+                return False
+        return True
 
     def ordered(self, nb: int) -> np.ndarray:
         """The ``(m, nb)`` ordered-scores buffer for one batch."""
@@ -244,6 +279,8 @@ def run_kernel(
     chunk_size: int = DEFAULT_CHUNK,
     first_is_observed: bool | None = None,
     workspace: KernelWorkspace | None = None,
+    engine=None,
+    engine_batch: int | None = None,
 ) -> KernelCounts:
     """Accumulate maxT counts over permutations ``[start, start + count)``.
 
@@ -268,6 +305,16 @@ def run_kernel(
     calls by the checkpoint driver); with ``None`` a private one is built,
     so every caller gets the allocation-free batch loop.  Counts are
     bit-identical either way.
+
+    ``engine`` is an optional :class:`~repro.accel.base.ArrayOps` compute
+    engine (already resolved; see :func:`repro.accel.resolve_engine`).
+    When the generator is counter-based and the engine accelerates its
+    keystream family, encodings are prefilled in engine super-batches of
+    ``engine_batch`` rows (default: the engine's ``batch_rows``) and the
+    statistic GEMMs route through the engine's array namespace.  The
+    numpy engine performs the reference arithmetic, so its counts are
+    bit-identical to an engine-less run; device engines are bit-identical
+    on the permutation stream and tie-tolerance-equal on counts.
     """
     if chunk_size <= 0:
         raise PermutationError(f"chunk_size must be positive, got {chunk_size}")
@@ -295,8 +342,15 @@ def run_kernel(
     generator.reset()
     generator.skip(start)
 
-    if workspace is None or not workspace.compatible_with(stat, chunk_size):
-        workspace = KernelWorkspace.for_stat(stat, chunk_size)
+    if workspace is None or not workspace.compatible_with(
+            stat, chunk_size, engine=engine, engine_batch=engine_batch):
+        workspace = KernelWorkspace.for_stat(stat, chunk_size, engine=engine,
+                                             engine_batch=engine_batch)
+    ops = workspace.engine
+    # Always (re)attach so a generator shared across calls cannot keep a
+    # stale engine; attach returns False for stream/stored generators.
+    attach = getattr(generator, "attach_engine", None)
+    accelerated = bool(attach(ops)) if attach is not None else False
 
     order = observed.order
     untestable = observed.untestable
@@ -311,11 +365,34 @@ def run_kernel(
     threshold = threshold.astype(stat.compute_dtype, copy=False)
     threshold_ordered = threshold[order]                    # significance order
 
+    # Engine super-batches: prefill many chunks' encodings with one
+    # fill_encodings call (one keystream pass + one batched sort), then
+    # serve the scoring loop leading slices of the prefetched block.
+    superbatch = workspace.engine_batch if accelerated else 0
+    enc_source: np.ndarray | None = None
+    enc_off = enc_avail = 0
+
     remaining = count
     while remaining > 0:
         nb = min(chunk_size, remaining)
-        enc = generator.take_batch(nb, out=workspace.enc)
+        if superbatch:
+            if enc_avail == 0:
+                fill = min(superbatch, remaining)
+                enc_source = generator.take_batch(fill, out=workspace.enc)
+                enc_off, enc_avail = 0, fill
+            # A super-batch that is not a multiple of chunk_size leaves a
+            # short tail; serve it as a short chunk rather than reading
+            # past the prefetched rows.
+            nb = min(nb, enc_avail)
+            enc = enc_source[enc_off:enc_off + nb]
+            enc_off += nb
+            enc_avail -= nb
+        else:
+            enc = generator.take_batch(nb, out=workspace.enc)
         perm_stats = stat.batch(enc, work=workspace.pool)   # (m, nb)
+        if workspace.host_scores is not None:
+            perm_stats = ops.to_host(perm_stats,
+                                     out=workspace.host_scores[:, :nb])
         scores = side_adjust(perm_stats, side, out=perm_stats)
         if any_untestable:
             scores[untestable, :] = -np.inf

@@ -67,6 +67,13 @@ class MaxTOptions:
     #: Compute dtype of the statistic kernels ("float64" default;
     #: "float32" is the opt-in fast mode).
     dtype: str = "float64"
+    #: Compute engine name ("auto" picks the best this host can drive;
+    #: see :mod:`repro.accel`).  Never enters result-cache keys or
+    #: checkpoint fingerprints: permutation streams are bit-identical
+    #: across engines and counts int64-exact.
+    engine: str = "auto"
+    #: Rows per engine super-batch (0 = the engine's own default).
+    engine_batch: int = 0
     #: Resolved total permutation count including the observed labelling
     #: (filled in by :func:`validate_options`).
     nperm: int = 0
@@ -82,7 +89,7 @@ class MaxTOptions:
             else "random/stream")
         store = "stored" if self.store else "on-the-fly"
         return (f"test={self.test} side={self.side} B={self.nperm} "
-                f"({gen}, {store})")
+                f"({gen}, {store}, engine={self.engine})")
 
 
 def validate_options(
@@ -98,6 +105,8 @@ def validate_options(
     chunk_size: int = DEFAULT_CHUNK,
     complete_limit: int = DEFAULT_COMPLETE_LIMIT,
     dtype: str = "float64",
+    engine: str = "auto",
+    engine_batch: int = 0,
 ) -> MaxTOptions:
     """Validate the R-style options and resolve the permutation plan.
 
@@ -132,6 +141,18 @@ def validate_options(
     if str(dtype) not in COMPUTE_DTYPES:
         raise OptionError(
             f"dtype must be one of {COMPUTE_DTYPES}, got {dtype!r}")
+    # Validate the engine name against the registry (unknown -> OptionError)
+    # and, for an explicit name, that its module imports on this host
+    # (missing -> EngineUnavailableError) — the failure surfaces here, on
+    # the master in Step 1, not inside a worker pool.
+    from ..accel import resolve_engine
+
+    resolve_engine(str(engine))
+    if not isinstance(engine_batch, (int, np.integer)) \
+            or isinstance(engine_batch, bool) or engine_batch < 0:
+        raise OptionError(
+            f"engine_batch must be a non-negative integer "
+            f"(0 = engine default), got {engine_batch!r}")
 
     nperm, complete = resolve_permutation_count(
         test, classlabel, int(B), limit=complete_limit
@@ -148,16 +169,28 @@ def validate_options(
         chunk_size=int(chunk_size),
         complete_limit=int(complete_limit),
         dtype=str(dtype),
+        engine=str(engine),
+        engine_batch=int(engine_batch),
         nperm=nperm,
         complete=complete,
         store=store,
     )
 
 
-def build_statistic(options: MaxTOptions, X, classlabel) -> TestStatistic:
-    """Instantiate the statistic for a validated option set."""
+def build_statistic(options: MaxTOptions, X, classlabel,
+                    pre_ranked: bool = False) -> TestStatistic:
+    """Instantiate the statistic for a validated option set.
+
+    ``pre_ranked=True`` declares that ``X`` already carries the
+    ``nonpara="y"`` wire — NA codes NaN-ified and the row-wise rank
+    transform applied (a published dataset's shared rank variant) — so
+    the statistic must not rank again, and must not interpret any value
+    as the NA code (none survive the transform).
+    """
     return make_statistic(
-        options.test, X, classlabel, na=options.na, nonpara=options.nonpara,
+        options.test, X, classlabel,
+        na=None if pre_ranked else options.na,
+        nonpara="n" if pre_ranked else options.nonpara,
         dtype=options.dtype,
     )
 

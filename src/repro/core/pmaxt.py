@@ -95,6 +95,10 @@ _SIDE_CODES = {"abs": 0, "upper": 1, "lower": 2}
 _SIDE_NAMES = {v: k for k, v in _SIDE_CODES.items()}
 _DTYPE_CODES = {"float64": 0, "float32": 1}
 _DTYPE_NAMES = {v: k for k, v in _DTYPE_CODES.items()}
+# Engine names travel as scalar codes too; a custom-registered engine
+# (no code) falls back to its literal name on the wire.
+_ENGINE_CODES = {"auto": 0, "numpy": 1, "torch": 2, "cupy": 3}
+_ENGINE_NAMES = {v: k for k, v in _ENGINE_CODES.items()}
 
 
 def _pack_options(o: MaxTOptions) -> tuple:
@@ -113,11 +117,14 @@ def _pack_options(o: MaxTOptions) -> tuple:
         1 if o.complete else 0,
         1 if o.store else 0,
         _DTYPE_CODES[o.dtype],
+        _ENGINE_CODES.get(o.engine, o.engine),
+        o.engine_batch,
     )
 
 
 def _unpack_options(t: tuple) -> MaxTOptions:
     """Inverse of :func:`_pack_options`."""
+    engine = t[13]
     return MaxTOptions(
         test=_TEST_NAMES[t[0]],
         side=_SIDE_NAMES[t[1]],
@@ -132,6 +139,8 @@ def _unpack_options(t: tuple) -> MaxTOptions:
         complete=bool(t[10]),
         store=bool(t[11]),
         dtype=_DTYPE_NAMES[t[12]],
+        engine=_ENGINE_NAMES[engine] if isinstance(engine, int) else engine,
+        engine_batch=int(t[14]),
     )
 
 
@@ -225,6 +234,8 @@ def pmaxT(
     chunk_size: int = DEFAULT_CHUNK,
     complete_limit: int = DEFAULT_COMPLETE_LIMIT,
     dtype: str = "float64",
+    engine: str = "auto",
+    engine_batch: int = 0,
     blas_threads: int | None = None,
     row_names: list[str] | None = None,
     checkpoint_dir: str | None = None,
@@ -268,6 +279,15 @@ def pmaxT(
     across schedules; ``steal_block`` tunes the permutations-per-block
     granularity (default 256).  Neither knob enters the result-cache
     key, for exactly that reason.
+
+    ``engine`` picks the array-module compute engine for the hot path
+    (see :mod:`repro.accel`): ``"auto"`` (default) resolves to the best
+    engine the host can drive — a CUDA-backed ``cupy``/``torch`` when
+    present, the bit-identical batched ``numpy`` reference otherwise.
+    ``engine_batch`` sets the rows per engine super-batch (0 = the
+    engine's default).  Like the schedule, the engine never enters the
+    result-cache key: permutation streams are bit-identical across
+    engines and counts int64-exact.
     """
     if isinstance(X, PublishedDataset) and classlabel is None:
         classlabel = X.labels
@@ -282,6 +302,7 @@ def pmaxT(
         test=test, side=side, fixed_seed_sampling=fixed_seed_sampling,
         B=B, na=na, nonpara=nonpara, seed=seed, chunk_size=chunk_size,
         complete_limit=complete_limit, dtype=dtype,
+        engine=engine, engine_batch=engine_batch,
         blas_threads=blas_threads, row_names=row_names,
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=checkpoint_interval,
@@ -347,6 +368,8 @@ def _validated_options(classlabel, run_kwargs) -> MaxTOptions:
         chunk_size=run_kwargs["chunk_size"],
         complete_limit=run_kwargs["complete_limit"],
         dtype=run_kwargs["dtype"],
+        engine=run_kwargs["engine"],
+        engine_batch=run_kwargs["engine_batch"],
     )
 
 
@@ -365,6 +388,8 @@ def lookup_cached(
     chunk_size: int = DEFAULT_CHUNK,
     complete_limit: int = DEFAULT_COMPLETE_LIMIT,
     dtype: str = "float64",
+    engine: str = "auto",
+    engine_batch: int = 0,
     row_names: list[str] | None = None,
 ) -> MaxTResult | None:
     """Answer a pmaxT call from ``cache`` alone, or return ``None``.
@@ -389,6 +414,7 @@ def lookup_cached(
         fixed_seed_sampling=fixed_seed_sampling, B=B, na=na,
         nonpara=nonpara, seed=seed, chunk_size=chunk_size,
         complete_limit=complete_limit, dtype=dtype,
+        engine=engine, engine_batch=engine_batch,
     )
     key = result_cache_key(_dataset_fp_for(X, classlabel), options)
     entry = cache.lookup(key, options.nperm)
@@ -461,7 +487,47 @@ def _pmaxt_cached(cache, X, classlabel, *, backend, ranks, session,
     return result
 
 
-def _resident_workspace(stat, chunk_size: int) -> KernelWorkspace | None:
+def _resolve_run_engine(options: MaxTOptions):
+    """This rank's compute engine for one run, session-resident when possible.
+
+    Under a persistent session each rank keeps one
+    :class:`~repro.accel.base.ArrayOps` instance warm across whole pmaxT
+    calls (engines hold reusable sort scratch and, on device engines,
+    cached constant uploads); outside a session a fresh instance is built
+    per call.  The cache is keyed by the *requested* spec so switching
+    ``engine=`` or ``engine_batch=`` between calls re-resolves.
+    """
+    from ..accel import resolve_engine
+
+    batch = options.engine_batch or None
+    cache = resident_cache()
+    if cache is None:
+        return resolve_engine(options.engine, batch_rows=batch)
+    spec = (options.engine, batch)
+    resident = cache.get("compute_engine")
+    if resident is None or resident[0] != spec:
+        cache["compute_engine"] = (spec, resolve_engine(options.engine,
+                                                        batch_rows=batch))
+    return cache["compute_engine"][1]
+
+
+def _published_rank_wire(options: MaxTOptions) -> bool:
+    """Whether a published-dataset run should map the pre-ranked variant.
+
+    True for ``nonpara="y"`` runs whose statistic is not itself rank
+    based — Wilcoxon ranks internally either way (the per-rank transform
+    would be skipped too), so it keeps the plain wire.
+    """
+    from ..stats.registry import STATISTICS
+
+    cls = STATISTICS.get(options.test)
+    return (options.nonpara == "y" and cls is not None
+            and not getattr(cls, "_rank_based", False))
+
+
+def _resident_workspace(stat, chunk_size: int, engine=None,
+                        engine_batch: int | None = None
+                        ) -> KernelWorkspace | None:
     """This rank's session-resident kernel workspace, if one is available.
 
     Under a persistent session each rank keeps one
@@ -474,8 +540,10 @@ def _resident_workspace(stat, chunk_size: int) -> KernelWorkspace | None:
         return None
     workspace = cache.get("kernel_workspace")
     if not (isinstance(workspace, KernelWorkspace)
-            and workspace.compatible_with(stat, chunk_size)):
-        workspace = KernelWorkspace.for_stat(stat, chunk_size)
+            and workspace.compatible_with(stat, chunk_size, engine=engine,
+                                          engine_batch=engine_batch)):
+        workspace = KernelWorkspace.for_stat(stat, chunk_size, engine=engine,
+                                             engine_batch=engine_batch)
         cache["kernel_workspace"] = workspace
     return workspace
 
@@ -499,7 +567,10 @@ def _steal_kernel(comm, options: MaxTOptions, labels, stat, observed,
     blocks = carve_blocks(range_start, range_stop, block_size)
     runs = plan_initial_runs(len(blocks), comm.size)
     generator = build_generator(options, labels)
-    workspace = _resident_workspace(stat, options.chunk_size)
+    ops = _resolve_run_engine(options)
+    engine_batch = options.engine_batch or None
+    workspace = _resident_workspace(stat, options.chunk_size, engine=ops,
+                                    engine_batch=engine_batch)
     delay = injected_delay(comm.rank)
 
     def compute_block(block):
@@ -509,6 +580,7 @@ def _steal_kernel(comm, options: MaxTOptions, labels, stat, observed,
             chunk_size=options.chunk_size,
             first_is_observed=(block.start == 0),
             workspace=workspace,
+            engine=ops, engine_batch=engine_batch,
         )
         if delay > 0:
             time.sleep(delay * block.count)
@@ -526,10 +598,13 @@ def _steal_kernel(comm, options: MaxTOptions, labels, stat, observed,
         acc += contribution
         return acc
 
-    # Elastic BLAS re-caps: grants/stops carry the number of still-busy
-    # ranks, and each process-world rank widens (never narrows) its pool
-    # as peers go idle — the tail of a skewed job uses the whole host.
-    # In-process worlds share one BLAS pool, so they skip this.
+    # Elastic BLAS re-caps: grants/stops carry a freshly snapshotted
+    # number of still-busy ranks, and each process-world rank re-caps its
+    # pool to match — widening as peers go idle (the tail of a skewed job
+    # uses the whole host), narrowing back down to its starting cap when
+    # a later snapshot reports more busy ranks again (a death requeue
+    # refilling the pool).  In-process worlds share one BLAS pool, so
+    # they skip this.
     recap = None
     elastic: dict = {"current": None, "touched": False, "original": None}
     if isinstance(comm, ProcessComm):
@@ -537,13 +612,14 @@ def _steal_kernel(comm, options: MaxTOptions, labels, stat, observed,
             if not elastic["touched"]:
                 elastic["touched"] = True
                 elastic["original"] = elastic["current"] = get_blas_threads()
-            elastic["current"] = apply_elastic_cap(nactive, elastic["current"])
+            elastic["current"] = apply_elastic_cap(
+                nactive, elastic["current"], floor=elastic["original"])
 
     try:
         if comm.is_master:
             acc, ledger, stats = run_steal_master(
                 comm, blocks, runs, compute_block, merge, tag=tag,
-                recap=recap)
+                recap=recap, poll_unit=options.chunk_size)
             # The coverage audit replacing the static path's reduced
             # permutation accounting check.
             ledger.assert_exact_cover(range_start, range_stop)
@@ -578,6 +654,8 @@ def _pmaxt_run(
     chunk_size: int = DEFAULT_CHUNK,
     complete_limit: int = DEFAULT_COMPLETE_LIMIT,
     dtype: str = "float64",
+    engine: str = "auto",
+    engine_batch: int = 0,
     blas_threads: int | None = None,
     row_names: list[str] | None = None,
     checkpoint_dir: str | None = None,
@@ -645,7 +723,8 @@ def _pmaxt_run(
                 fixed_seed_sampling=fixed_seed_sampling, B=B, na=na,
                 nonpara=nonpara, comm=world_comm, seed=seed,
                 chunk_size=chunk_size, complete_limit=complete_limit,
-                dtype=dtype, row_names=row_names,
+                dtype=dtype, engine=engine, engine_batch=engine_batch,
+                row_names=row_names,
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_interval=checkpoint_interval,
                 perm_range=perm_range, return_counts=return_counts,
@@ -681,6 +760,7 @@ def _pmaxt_run(
     payload = None
     handle: PublishedDataset | None = None
     data = labels = route = None
+    pre_ranked = False
     with timer.section("pre_processing"):
         if master:
             if isinstance(X, PublishedDataset):
@@ -701,22 +781,32 @@ def _pmaxt_run(
                 chunk_size=chunk_size,
                 complete_limit=complete_limit,
                 dtype=dtype,
+                engine=engine,
+                engine_batch=engine_batch,
             )
             if handle is not None:
                 # Published dataset: resolve the variant whose bytes
                 # match this run's broadcast wire exactly (float64 keeps
                 # NA codes raw; float32 NaN-ifies them before the cast).
-                data, route = handle.resolve(
-                    options.dtype,
-                    options.na if options.dtype == "float32" else None)
+                # A nonpara run resolves the shared pre-ranked variant —
+                # the rank transform runs once per publish, and every
+                # rank skips its per-call re-rank.
+                pre_ranked = _published_rank_wire(options)
+                if pre_ranked:
+                    data, route = handle.resolve(
+                        options.dtype, options.na, rank=True)
+                else:
+                    data, route = handle.resolve(
+                        options.dtype,
+                        options.na if options.dtype == "float32" else None)
             steal_spec = _resolve_schedule(schedule, steal_block, options,
                                            checkpoint_dir, comm.size)
             payload = (_pack_options(options), route, perm_range,
-                       bool(return_counts), steal_spec)
+                       bool(return_counts), steal_spec, pre_ranked)
 
     # -- Step 2: broadcast scalar parameters --------------------------------
     with timer.section("broadcast_parameters"):
-        packed, route, perm_range, return_counts, steal_spec = \
+        packed, route, perm_range, return_counts, steal_spec, pre_ranked = \
             comm.bcast(payload, root=0)
         options = _unpack_options(packed)
         if perm_range is None:
@@ -772,7 +862,7 @@ def _pmaxt_run(
     # -- Step 4: local kernel over this rank's permutation chunk -------------
     steal_totals: KernelCounts | None = None
     with timer.section("main_kernel"):
-        stat = build_statistic(options, data, labels)
+        stat = build_statistic(options, data, labels, pre_ranked=pre_ranked)
         observed = compute_observed(stat, options.side)
         if steal_spec is not None:
             # Work-stealing schedule: the range is carved into blocks and
@@ -804,6 +894,8 @@ def _pmaxt_run(
                 generator = build_generator(options, labels)
                 kernel_args = dict(start=g_start, count=chunk.count,
                                    first_is_observed=includes_observed)
+            ops = _resolve_run_engine(options)
+            run_engine_batch = options.engine_batch or None
             if checkpoint_dir is None:
                 # Under a session, each rank owns a resident
                 # KernelWorkspace that survives across pmaxT calls: a warm
@@ -812,10 +904,13 @@ def _pmaxt_run(
                 # a workspace — pinned by tests).  The checkpoint driver
                 # below manages its own workspace, so nothing is parked in
                 # the cache on that path.
-                workspace = _resident_workspace(stat, options.chunk_size)
+                workspace = _resident_workspace(
+                    stat, options.chunk_size, engine=ops,
+                    engine_batch=run_engine_batch)
                 counts = run_kernel(
                     stat, generator, observed, options.side,
                     chunk_size=options.chunk_size, workspace=workspace,
+                    engine=ops, engine_batch=run_engine_batch,
                     **kernel_args,
                 )
             else:
@@ -832,7 +927,9 @@ def _pmaxt_run(
                     stat, generator, observed, options.side,
                     store=store, fingerprint=fingerprint,
                     interval=checkpoint_interval,
-                    chunk_size=options.chunk_size, **kernel_args,
+                    chunk_size=options.chunk_size,
+                    engine=ops, engine_batch=run_engine_batch,
+                    **kernel_args,
                 )
                 store.clear()
             delay = injected_delay(comm.rank)

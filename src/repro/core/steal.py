@@ -176,6 +176,7 @@ def run_steal_master(
     *,
     tag: int,
     recap: Callable[[int], None] | None = None,
+    poll_unit: int | None = None,
 ) -> tuple[Any, BlockLedger, dict[str, int]]:
     """Rank 0's side of the steal protocol.
 
@@ -185,6 +186,14 @@ def run_steal_master(
     accumulator folds contributions with ``merge(acc, contribution)``
     (``acc`` starts as ``None``); associativity of the underlying counts
     makes the fold order irrelevant to the bits of the result.
+
+    ``poll_unit`` bounds how long a straggler can wait for a refill
+    while rank 0 is computing: the master's own blocks are computed in
+    sub-block units of at most ``poll_unit`` permutations, and pending
+    steal requests are serviced between units.  ``None`` keeps the
+    whole-block granularity.  Sub-units tile the block's permutation
+    indices exactly, so the contribution (an associative int64 count
+    sum) is bit-identical to the whole-block compute.
     """
     ledger = BlockLedger(blocks)
     my_blocks: deque[int] = deque(runs[0])
@@ -260,7 +269,25 @@ def run_steal_master(
             break
         if recap is not None:
             recap(nactive())
-        acc = merge(acc, compute_block(blocks[bid]))
+        block = blocks[bid]
+        if poll_unit is None or poll_unit >= block.count:
+            acc = merge(acc, compute_block(block))
+        else:
+            # Sub-block service units: drain pending steal requests
+            # between units so a large steal_block on the master cannot
+            # delay a straggler's refill by a whole block's compute.
+            at = block.start
+            while at < block.stop:
+                count = min(poll_unit, block.stop - at)
+                acc = merge(acc, compute_block(
+                    Block(bid=block.bid, start=at, count=count)))
+                at += count
+                if at < block.stop:
+                    while True:
+                        pending = comm.poll_any(tag)
+                        if pending is None:
+                            break
+                        handle_request(*pending)
         ledger.mark_done(0, [bid])
     return acc, ledger, stats
 

@@ -200,18 +200,27 @@ def elastic_blas_cap(nactive: int, cores: int | None = None) -> int:
     return max(1, int(cores) // max(1, int(nactive)))
 
 
-def apply_elastic_cap(nactive: int, current: int | None) -> int | None:
-    """Widen (never narrow) this rank's BLAS pool for ``nactive`` busy ranks.
+def apply_elastic_cap(nactive: int, current: int | None,
+                      floor: int | None = None) -> int | None:
+    """Re-cap this rank's BLAS pool for ``nactive`` still-busy ranks.
 
-    Returns the new cap if one was applied, else ``current``.  Widening
-    only: the steal protocol's ``nactive`` is a snapshot that can lag
-    reality, and narrowing on stale data would serialise a rank that is
-    about to receive more blocks.  The caller restores the original cap
-    when its job ends (:func:`blas_thread_limit` on the master,
-    a ``finally`` in the steal worker loop).
+    Returns the new cap if one was applied, else ``current``.  The cap
+    tracks the snapshot in *both* directions: it widens as peers go
+    idle, and narrows back when a fresh snapshot reports more busy
+    ranks again — a rank that steals after the pool refills (a death
+    requeue resurrects drained queues) must give back the host share it
+    borrowed, or the survivors oversubscribe the machine for the rest
+    of the job.  Every grant/stop message carries a freshly computed
+    ``nactive``, so the snapshot applied here is the most recent truth
+    this rank has seen.  ``floor`` (the rank's cap at job start) bounds
+    narrowing: the elastic logic never takes a rank below its
+    configured baseline.  The caller restores the original cap when its
+    job ends (a ``finally`` in the steal kernel).
     """
     cap = elastic_blas_cap(nactive)
-    if current is not None and cap <= current:
+    if floor is not None:
+        cap = max(cap, int(floor))
+    if current is not None and cap == current:
         return current
     if set_blas_threads(cap) is None:
         return current

@@ -22,12 +22,18 @@ The registry materialises per-``(dtype, na)`` *variants* of the published
 matrix lazily, so the bytes a consumer sees are identical to what the
 broadcast wire would have carried:
 
-* ``("float64", None)`` — the base variant: contiguous float64, NA codes
-  kept raw (every rank's statistic NaN-ifies them, the pre-registry
-  behaviour).  This is also what ``pcor`` consumes.
-* ``("float32", na)`` — NA codes become NaN *before* the cast
+* ``("float64", None, False)`` — the base variant: contiguous float64,
+  NA codes kept raw (every rank's statistic NaN-ifies them, the
+  pre-registry behaviour).  This is also what ``pcor`` consumes.
+* ``("float32", na, False)`` — NA codes become NaN *before* the cast
   (``MT_NA_NUM`` is not float32-representable), matching pmaxT's
   float32 wire exactly.
+* ``(dtype, na, True)`` — the ``nonpara = "y"`` wire: NA codes become
+  NaN, then the row-wise average-rank transform (computed on the same
+  dtype the per-rank transform would see) replaces the data, missing
+  cells staying NaN.  A published ``nonpara`` run maps this shared
+  pre-ranked segment and its ranks skip the per-rank re-rank entirely —
+  the transform runs once per publish, not once per rank per call.
 
 Lifecycle
 ---------
@@ -116,23 +122,24 @@ class _DatasetRecord:
         self.owner_pid = os.getpid()
         self.closed = False
         self._lock = threading.Lock()
-        #: (dtype, na) -> (route | None, read-only view)
+        #: (dtype, na, rank) -> (route | None, read-only view)
         self._variants: dict[tuple, tuple] = {}
         #: Live segments, shared with the GC finalizer (see module doc).
         self._segments: list = []
-        self._store("float64", None, base)
+        self._store("float64", None, False, base)
         self._finalizer = weakref.finalize(
             self, _unlink_segments, self.owner_pid, self._segments)
 
     @property
     def base(self) -> np.ndarray:
         """The float64 base variant (NA codes raw)."""
-        return self._variants[("float64", None)][1]
+        return self._variants[("float64", None, False)][1]
 
     def nbytes(self) -> int:
         return sum(int(v.nbytes) for _, v in self._variants.values())
 
-    def _store(self, dtype: str, na: float | None, arr: np.ndarray) -> None:
+    def _store(self, dtype: str, na: float | None, rank: bool,
+               arr: np.ndarray) -> None:
         arr = np.ascontiguousarray(arr, dtype=np.dtype(dtype))
         if self.use_shm:
             segment = shared_memory.SharedMemory(
@@ -147,25 +154,41 @@ class _DatasetRecord:
             view = arr
             view.flags.writeable = False
             route = None
-        self._variants[(dtype, na)] = (route, view)
+        self._variants[(dtype, na, rank)] = (route, view)
 
-    def variant(self, dtype: str, na: float | None) -> tuple:
+    def variant(self, dtype: str, na: float | None,
+                rank: bool = False) -> tuple:
         """Resolve (materialising lazily) the ``(route, view)`` variant."""
-        key = (dtype, None if na is None else float(na))
+        key = (dtype, None if na is None else float(na), bool(rank))
         with self._lock:
             if self.closed:
                 raise DataError(
                     "published dataset has been closed (its session was "
                     "closed or the dataset unpublished); re-publish it")
             if key not in self._variants:
-                if dtype != "float32":  # pragma: no cover - future dtypes
-                    raise DataError(
+                if dtype not in ("float64", "float32"):
+                    raise DataError(  # pragma: no cover - future dtypes
                         f"no published variant for dtype={dtype!r}")
-                from ..stats.na import to_nan
+                from ..stats.na import row_ranks, to_nan, valid_mask
 
-                # Matches pmaxT's float32 wire: NA codes -> NaN before the
-                # cast (the code is not float32-representable).
-                self._store(dtype, key[1], to_nan(self.base, key[1]))
+                if rank:
+                    # Matches the per-rank nonpara="y" transform exactly:
+                    # NA codes -> NaN, cast to the wire dtype (the dtype
+                    # the per-rank transform would have ranked), then
+                    # row-wise average ranks with missing cells kept NaN.
+                    src = to_nan(self.base, key[1])
+                    if dtype == "float32":
+                        src = np.ascontiguousarray(src, dtype=np.float32)
+                    ranked = np.where(valid_mask(src), row_ranks(src), np.nan)
+                    self._store(dtype, key[1], True, ranked)
+                else:
+                    if dtype != "float32":  # pragma: no cover - defensive
+                        raise DataError(
+                            f"no published variant for dtype={dtype!r}")
+                    # Matches pmaxT's float32 wire: NA codes -> NaN before
+                    # the cast (the code is not float32-representable).
+                    self._store(dtype, key[1], False,
+                                to_nan(self.base, key[1]))
             return self._variants[key]
 
     def close(self) -> None:
@@ -210,16 +233,18 @@ class PublishedDataset:
                 "master rank can resolve it")
         return record
 
-    def resolve(self, dtype: str = "float64",
-                na: float | None = None) -> tuple:
+    def resolve(self, dtype: str = "float64", na: float | None = None,
+                *, rank: bool = False) -> tuple:
         """Master-side: ``(data_view, route)`` for the requested variant.
 
         ``route`` is ``None`` for in-process registries (the view itself
         is shared) and a segment descriptor otherwise; workers turn the
         descriptor into their own mapping via
-        :func:`attach_published_view`.
+        :func:`attach_published_view`.  ``rank=True`` resolves the
+        pre-ranked ``nonpara`` wire (NaN-ified then row-rank-transformed;
+        see the module's *Variants* section).
         """
-        route, view = self._live_record().variant(dtype, na)
+        route, view = self._live_record().variant(dtype, na, rank)
         return view, route
 
     def base_data(self) -> np.ndarray:

@@ -72,6 +72,8 @@ class _RandomBase(PermutationGenerator):
         self.fixed_seed = bool(fixed_seed)
         self.supports_random_access = self.fixed_seed
         self._stream = None if self.fixed_seed else np.random.default_rng(self.seed)
+        self._engine = None
+        self._spec = None
 
     # -- family hooks ---------------------------------------------------------
 
@@ -94,6 +96,26 @@ class _RandomBase(PermutationGenerator):
     def _draw_indexed(self, start: int, count: int) -> np.ndarray:
         """Fixed-seed resamples for indices ``[start, start + count)``."""
         raise NotImplementedError
+
+    def _make_spec(self):
+        """The family's :class:`~repro.accel.base.KeystreamSpec`."""
+        raise NotImplementedError
+
+    # -- compute-engine routing -----------------------------------------------
+
+    def keystream_spec(self):
+        if not self.fixed_seed:
+            return None
+        if self._spec is None:
+            self._spec = self._make_spec()
+        return self._spec
+
+    def attach_engine(self, ops) -> bool:
+        if ops is not None and ops.accelerates(self.keystream_spec()):
+            self._engine = ops
+            return True
+        self._engine = None
+        return False
 
     # -- generator plumbing ---------------------------------------------------
 
@@ -124,8 +146,15 @@ class _RandomBase(PermutationGenerator):
             filled = 1
         if count > filled:
             if self.fixed_seed:
-                out[filled:count] = self._draw_indexed(pos + filled,
-                                                       count - filled)
+                if self._engine is not None:
+                    # Engine path: bit-identical by the keystream contract
+                    # (same Philox keys, any correct sort), filled in place.
+                    self._engine.fill_encodings(self._spec, pos + filled,
+                                                count - filled,
+                                                out[filled:count])
+                else:
+                    out[filled:count] = self._draw_indexed(pos + filled,
+                                                           count - filled)
             else:
                 out[filled:count] = self._draw_stream_batch(self._stream,
                                                             count - filled)
@@ -178,6 +207,12 @@ class RandomLabelShuffle(_RandomBase):
         return keystream.label_permutations(self.seed, start, count,
                                             self._labels)
 
+    def _make_spec(self):
+        from ..accel.base import KeystreamSpec
+
+        return KeystreamSpec("labels", self.seed, self.width,
+                             labels=self._labels)
+
 
 class RandomSigns(_RandomBase):
     """Uniformly random pair-swap signs for the paired-t test.
@@ -205,6 +240,11 @@ class RandomSigns(_RandomBase):
 
     def _draw_indexed(self, start: int, count: int) -> np.ndarray:
         return keystream.sign_vectors(self.seed, start, count, self.width)
+
+    def _make_spec(self):
+        from ..accel.base import KeystreamSpec
+
+        return KeystreamSpec("signs", self.seed, self.width)
 
 
 class RandomBlockShuffle(_RandomBase):
@@ -248,3 +288,9 @@ class RandomBlockShuffle(_RandomBase):
     def _draw_indexed(self, start: int, count: int) -> np.ndarray:
         return keystream.block_permutations(self.seed, start, count,
                                             self._blocks)
+
+    def _make_spec(self):
+        from ..accel.base import KeystreamSpec
+
+        return KeystreamSpec("blocks", self.seed, self.width,
+                             blocks=self._blocks)

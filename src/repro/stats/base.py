@@ -41,6 +41,7 @@ tolerance — see :mod:`repro.core.kernel`).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 
@@ -54,8 +55,21 @@ __all__ = ["TestStatistic", "TwoSampleMoments", "WorkBuffers",
 COMPUTE_DTYPES: tuple[str, ...] = ("float64", "float32")
 
 
-def class_member_counts(V: np.ndarray | None, G: np.ndarray,
-                        work: "WorkBuffers", key: str) -> np.ndarray:
+def _default_ops():
+    """The shared NumPy reference engine (stateless for pool purposes)."""
+    global _NUMPY_OPS
+    if _NUMPY_OPS is None:
+        from ..accel.numpy_engine import NumpyEngine
+
+        _NUMPY_OPS = NumpyEngine()
+    return _NUMPY_OPS
+
+
+_NUMPY_OPS = None
+
+
+def class_member_counts(V, G, work: "WorkBuffers", key: str,
+                        dtype=None):
     """Per-encoding member counts for a 0/1 class-indicator block ``G``.
 
     With a validity mask ``V`` the counts are the GEMM ``V @ G`` — an
@@ -63,14 +77,18 @@ def class_member_counts(V: np.ndarray | None, G: np.ndarray,
     row is all ones, so the counts collapse to the column sums of ``G``,
     one broadcastable ``(1, nb)`` row.  Both forms sum the same exact
     small integers in float, so the shortcut is bit-transparent while
-    removing a whole GEMM from the batch.
+    removing a whole GEMM from the batch.  ``dtype`` is the compute
+    dtype (defaults to the pool's last-taken float dtype, which matches
+    ``G`` for every in-tree caller).
     """
-    dtype = G.dtype
+    xp = work.xp
+    if dtype is None:
+        dtype = work.float_dtype
     if V is None:
         out = work.take(key, (1, G.shape[1]), dtype)
-        np.sum(G, axis=0, dtype=dtype, out=out[0])
+        xp.sum(G, axis=0, dtype=dtype, out=out[0])
         return out
-    return np.matmul(V, G, out=work.take(key, (V.shape[0], G.shape[1]),
+    return xp.matmul(V, G, out=work.take(key, (V.shape[0], G.shape[1]),
                                          dtype))
 
 
@@ -82,31 +100,63 @@ class WorkBuffers:
     (returning a leading-slice view when a smaller shape — e.g. the tail
     batch of a permutation chunk — is asked for).  Nothing is zeroed:
     callers own the full contents of what they take.
+
+    The pool is bound to a compute engine
+    (:class:`~repro.accel.base.ArrayOps`): buffers are engine-native
+    arrays, :attr:`xp` is the engine's array namespace, and
+    :meth:`constant` mirrors a statistic's host constants into the
+    engine's memory.  The default engine is the NumPy reference, for
+    which every one of those operations is the identity — pool behaviour
+    (and the arithmetic routed through it) is bit-identical to an
+    engine-less pool.
     """
 
-    def __init__(self):
-        self._bufs: dict[str, np.ndarray] = {}
+    def __init__(self, ops=None):
+        self._bufs: dict[str, Any] = {}
+        self._dtypes: dict[str, np.dtype] = {}
+        self.ops = _default_ops() if ops is None else ops
 
-    def take(self, key: str, shape: tuple[int, ...],
-             dtype=np.float64) -> np.ndarray:
+    @property
+    def xp(self):
+        """The engine's array namespace (NumPy itself for the reference)."""
+        return self.ops.xp
+
+    #: Declared dtype of the last float buffer taken; statistics read it
+    #: back where the NumPy path read ``buffer.dtype`` (device tensors
+    #: carry library-specific dtype objects).
+    float_dtype: np.dtype = np.dtype(np.float64)
+
+    def constant(self, arr: np.ndarray):
+        """The engine-native mirror of a statistic's host constant."""
+        return self.ops.constant(arr)
+
+    def adopt_encodings(self, enc: np.ndarray):
+        """The engine-native operand for a host encoding batch."""
+        return self.ops.adopt_encodings(enc)
+
+    def take(self, key: str, shape: tuple[int, ...], dtype=np.float64):
         dtype = np.dtype(dtype)
+        if dtype.kind == "f":
+            self.float_dtype = dtype
         shape = tuple(int(s) for s in shape)
         buf = self._bufs.get(key)
-        if (buf is None or buf.dtype != dtype or buf.ndim != len(shape)
+        held = self._dtypes.get(key)
+        if (buf is None or held != dtype or buf.ndim != len(shape)
                 or any(b < s for b, s in zip(buf.shape, shape))):
             grow = shape
-            if buf is not None and buf.dtype == dtype \
+            if buf is not None and held == dtype \
                     and buf.ndim == len(shape):
                 grow = tuple(max(b, s) for b, s in zip(buf.shape, shape))
-            buf = np.empty(grow, dtype=dtype)
+            buf = self.ops.empty(grow, dtype)
             self._bufs[key] = buf
-        if buf.shape == shape:
+            self._dtypes[key] = dtype
+        if tuple(buf.shape) == shape:
             return buf
         return buf[tuple(slice(0, s) for s in shape)]
 
     def nbytes(self) -> int:
         """Total bytes currently held by the pool."""
-        return sum(b.nbytes for b in self._bufs.values())
+        return sum(int(b.nbytes) for b in self._bufs.values())
 
 
 class TestStatistic(ABC):
@@ -199,21 +249,22 @@ class TestStatistic(ABC):
 
     # -- shared batch helpers --------------------------------------------------
 
-    def _gemm_operand(self, encodings: np.ndarray,
-                      work: WorkBuffers) -> np.ndarray:
+    def _gemm_operand(self, encodings, work: WorkBuffers):
         """The ``(width, nb)`` float right-hand side for the batch GEMMs."""
+        xp = work.xp
         G = work.take("G", (encodings.shape[1], encodings.shape[0]),
                       self.compute_dtype)
-        np.copyto(G, encodings.T, casting="unsafe")
+        xp.copyto(G, encodings.T, casting="unsafe")
         return G
 
-    def _class_indicator(self, encodings: np.ndarray, j: int,
-                         work: WorkBuffers) -> np.ndarray:
+    def _class_indicator(self, encodings, j: int,
+                         work: WorkBuffers):
         """The ``(width, nb)`` float indicator of class-``j`` membership."""
+        xp = work.xp
         n, nb = encodings.shape[1], encodings.shape[0]
-        eq = np.equal(encodings.T, j, out=work.take("eqT", (n, nb), bool))
+        eq = xp.equal(encodings.T, j, out=work.take("eqT", (n, nb), bool))
         Gj = work.take("G", (n, nb), self.compute_dtype)
-        np.copyto(Gj, eq, casting="unsafe")
+        xp.copyto(Gj, eq, casting="unsafe")
         return Gj
 
     # -- public evaluation -----------------------------------------------------
@@ -235,7 +286,9 @@ class TestStatistic(ABC):
         -------
         numpy.ndarray
             ``(m, nb)`` matrix in the compute dtype; NaN marks undefined
-            statistics.
+            statistics.  With a device-engine pool the matrix is
+            engine-native (the kernel copies it back through
+            ``ArrayOps.to_host``).
         """
         enc = np.asarray(encodings, dtype=np.int64)
         if enc.ndim == 1:
@@ -251,7 +304,8 @@ class TestStatistic(ABC):
             # makes the pool-less call allocate about what the pre-pool
             # code did while keeping a single arithmetic path.
             work = WorkBuffers()
-        with np.errstate(invalid="ignore", divide="ignore"):
+        enc = work.adopt_encodings(enc)
+        with work.xp.errstate(invalid="ignore", divide="ignore"):
             out = self._compute_batch(enc, work)
         return out
 
@@ -298,7 +352,7 @@ class TwoSampleMoments:
         self.sum_all = self.Xz.sum(axis=1, dtype=X.dtype)
         self.sumsq_all = self.Xz2.sum(axis=1, dtype=X.dtype)
 
-    def class1(self, encodings: np.ndarray, work: WorkBuffers):
+    def class1(self, encodings, work: WorkBuffers):
         """Counts/sums/sums-of-squares of class 1 for each encoding.
 
         Returns ``(N1, S1, Q1)`` in pooled buffers: the sums are
@@ -306,32 +360,38 @@ class TwoSampleMoments:
         a broadcastable ``(1, nb)`` row on fully-valid data (see
         ``all_valid``).
         """
+        xp = work.xp
         dtype = self.Xz.dtype
         nb = encodings.shape[0]
         m = self.Xz.shape[0]
         G = work.take("G", (encodings.shape[1], nb), dtype)
-        np.copyto(G, encodings.T, casting="unsafe")
-        N1 = class_member_counts(self.count_mask, G, work, "N1")
-        S1 = np.matmul(self.Xz, G, out=work.take("S1", (m, nb), dtype))
-        Q1 = np.matmul(self.Xz2, G, out=work.take("Q1", (m, nb), dtype))
+        xp.copyto(G, encodings.T, casting="unsafe")
+        mask = None if self.count_mask is None \
+            else work.constant(self.count_mask)
+        N1 = class_member_counts(mask, G, work, "N1", dtype)
+        S1 = xp.matmul(work.constant(self.Xz), G,
+                       out=work.take("S1", (m, nb), dtype))
+        Q1 = xp.matmul(work.constant(self.Xz2), G,
+                       out=work.take("Q1", (m, nb), dtype))
         return N1, S1, Q1
 
-    def split(self, encodings: np.ndarray, work: WorkBuffers):
+    def split(self, encodings, work: WorkBuffers):
         """Both classes' moments: ``(N1, S1, Q1, N0, S0, Q0)``.
 
         ``N0``/``N1`` may be ``(1, nb)`` rows on fully-valid data; they
         broadcast transparently through the statistic arithmetic.
         """
+        xp = work.xp
         N1, S1, Q1 = self.class1(encodings, work)
         # On fully-valid data every n_valid entry is exactly n, so the
         # (1, nb) subtraction yields the same values the (m, nb) one would.
         counts_total = self.Xz.dtype.type(self.Xz.shape[1]) \
-            if self.all_valid else self.n_valid[:, None]
+            if self.all_valid else work.constant(self.n_valid)[:, None]
         dtype = self.Xz.dtype
-        N0 = np.subtract(counts_total, N1,
+        N0 = xp.subtract(counts_total, N1,
                          out=work.take("N0", N1.shape, dtype))
-        S0 = np.subtract(self.sum_all[:, None], S1,
+        S0 = xp.subtract(work.constant(self.sum_all)[:, None], S1,
                          out=work.take("S0", S1.shape, dtype))
-        Q0 = np.subtract(self.sumsq_all[:, None], Q1,
+        Q0 = xp.subtract(work.constant(self.sumsq_all)[:, None], Q1,
                          out=work.take("Q0", Q1.shape, dtype))
         return N1, S1, Q1, N0, S0, Q0

@@ -82,36 +82,39 @@ class BlockF(TestStatistic):
         self._grand = grand
         self._nv = nv
 
-    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
+    def _compute_batch(self, encodings, work) -> np.ndarray:
+        xp = work.xp
         m = self.m
         nb = encodings.shape[0]
         dt = self._Xz.dtype
-        bv = self._bv[:, None]
+        bv = work.constant(self._bv)[:, None]
+        Xz = work.constant(self._Xz)
         treat_raw = work.take("treat", (m, nb), dt)
-        treat_raw.fill(0)
+        treat_raw[...] = 0
         for j in range(self.k):
             Gj = self._class_indicator(encodings, j, work)
             # treatment-j sum per row per permutation
-            Sj = np.matmul(self._Xz, Gj, out=work.take("Sj", (m, nb), dt))
-            np.multiply(Sj, Sj, out=Sj)
+            Sj = xp.matmul(Xz, Gj, out=work.take("Sj", (m, nb), dt))
+            xp.multiply(Sj, Sj, out=Sj)
             treat_raw += Sj
-        grand = self._grand[:, None]
-        nv = self._nv[:, None]
+        grand = work.constant(self._grand)[:, None]
+        nv = work.constant(self._nv)[:, None]
         gg = grand * grand / nv                    # (m, 1): batch-invariant
-        np.divide(treat_raw, bv, out=treat_raw)
-        ss_treat = np.subtract(treat_raw, gg, out=treat_raw)
-        np.maximum(ss_treat, 0.0, out=ss_treat)
-        resid_base = self._ss_total[:, None] - self._ss_block[:, None]
-        ss_resid = np.subtract(resid_base, ss_treat,
+        xp.divide(treat_raw, bv, out=treat_raw)
+        ss_treat = xp.subtract(treat_raw, gg, out=treat_raw)
+        xp.maximum(ss_treat, 0.0, out=ss_treat)
+        resid_base = work.constant(self._ss_total)[:, None] \
+            - work.constant(self._ss_block)[:, None]
+        ss_resid = xp.subtract(resid_base, ss_treat,
                                out=work.take("resid", (m, nb), dt))
-        np.maximum(ss_resid, 0.0, out=ss_resid)
+        xp.maximum(ss_resid, 0.0, out=ss_resid)
         dof_t = self.k - 1.0
         dof_r = (bv - 1.0) * (self.k - 1.0)
         # Capture the degenerate mask before ss_resid is divided in place.
-        bad = np.equal(ss_resid, 0.0, out=work.take("bad", (m, nb), bool))
-        np.logical_or(bad, bv < 2, out=bad)
-        np.divide(ss_treat, dof_t, out=ss_treat)
-        np.divide(ss_resid, dof_r, out=ss_resid)
-        F = np.divide(ss_treat, ss_resid, out=ss_treat)
+        bad = xp.equal(ss_resid, 0.0, out=work.take("bad", (m, nb), bool))
+        xp.logical_or(bad, bv < 2, out=bad)
+        xp.divide(ss_treat, dof_t, out=ss_treat)
+        xp.divide(ss_resid, dof_r, out=ss_resid)
+        F = xp.divide(ss_treat, ss_resid, out=ss_treat)
         F[bad] = np.nan
         return F

@@ -52,46 +52,50 @@ class FStat(TestStatistic):
         self._sum_all = self._Xz.sum(axis=1, dtype=X.dtype)
         self._sumsq_all = self._Xz2.sum(axis=1, dtype=X.dtype)
 
-    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
+    def _compute_batch(self, encodings, work) -> np.ndarray:
+        xp = work.xp
         m = self.m
         nb = encodings.shape[0]
         dt = self._V.dtype
-        nv = self._n_valid[:, None]
-        grand_sum = self._sum_all[:, None]
+        nv = work.constant(self._n_valid)[:, None]
+        grand_sum = work.constant(self._sum_all)[:, None]
+        Xz = work.constant(self._Xz)
+        mask = None if self._count_mask is None \
+            else work.constant(self._count_mask)
         # Accumulate sum_j S_j^2 / n_j and detect empty classes.
         between_raw = work.take("between", (m, nb), dt)
-        between_raw.fill(0)
+        between_raw[...] = 0
         broken = work.take("broken", (m, nb), bool)
-        broken.fill(False)
+        broken[...] = False
         for j in range(self.k):
             Gj = self._class_indicator(encodings, j, work)
-            Nj = class_member_counts(self._count_mask, Gj, work, "Nj")
-            Sj = np.matmul(self._Xz, Gj, out=work.take("Sj", (m, nb), dt))
-            empty = np.equal(Nj, 0.0, out=work.take("empty", Nj.shape, bool))
-            np.logical_or(broken, empty, out=broken)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                np.multiply(Sj, Sj, out=Sj)
-                contrib = np.divide(Sj, Nj, out=Sj)
-            if empty.shape == contrib.shape:
+            Nj = class_member_counts(mask, Gj, work, "Nj", dt)
+            Sj = xp.matmul(Xz, Gj, out=work.take("Sj", (m, nb), dt))
+            empty = xp.equal(Nj, 0.0, out=work.take("empty", Nj.shape, bool))
+            xp.logical_or(broken, empty, out=broken)
+            with xp.errstate(invalid="ignore", divide="ignore"):
+                xp.multiply(Sj, Sj, out=Sj)
+                contrib = xp.divide(Sj, Nj, out=Sj)
+            if tuple(empty.shape) == tuple(contrib.shape):
                 contrib[empty] = 0.0
             else:                           # (1, nb) count row: mask columns
                 contrib[:, empty[0]] = 0.0
             between_raw += contrib
         gg = grand_sum * grand_sum / nv          # (m, 1): batch-invariant
-        ss_between = np.subtract(between_raw, gg, out=between_raw)
-        ss_total = self._sumsq_all[:, None] - gg  # (m, 1)
-        ss_within = np.subtract(ss_total, ss_between,
+        ss_between = xp.subtract(between_raw, gg, out=between_raw)
+        ss_total = work.constant(self._sumsq_all)[:, None] - gg  # (m, 1)
+        ss_within = xp.subtract(ss_total, ss_between,
                                 out=work.take("within", (m, nb), dt))
-        np.maximum(ss_within, 0.0, out=ss_within)
-        np.maximum(ss_between, 0.0, out=ss_between)
+        xp.maximum(ss_within, 0.0, out=ss_within)
+        xp.maximum(ss_between, 0.0, out=ss_between)
         dof_b = self.k - 1.0
         dof_w = nv - self.k
         # Capture the zero-variance mask before ss_within is divided away.
-        zero = np.equal(ss_within, 0.0, out=work.take("empty", (m, nb), bool))
-        np.logical_or(broken, dof_w < 1.0, out=broken)
-        np.logical_or(broken, zero, out=broken)
-        np.divide(ss_between, dof_b, out=ss_between)
-        np.divide(ss_within, dof_w, out=ss_within)
-        F = np.divide(ss_between, ss_within, out=ss_between)
+        zero = xp.equal(ss_within, 0.0, out=work.take("empty", (m, nb), bool))
+        xp.logical_or(broken, dof_w < 1.0, out=broken)
+        xp.logical_or(broken, zero, out=broken)
+        xp.divide(ss_between, dof_b, out=ss_between)
+        xp.divide(ss_within, dof_w, out=ss_within)
+        F = xp.divide(ss_between, ss_within, out=ss_between)
         F[broken] = np.nan
         return F

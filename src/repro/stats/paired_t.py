@@ -63,22 +63,24 @@ class PairedT(TestStatistic):
     def observed_encoding(self) -> np.ndarray:
         return np.ones(self.npairs, dtype=np.int64)
 
-    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
-        if not np.isin(encodings, (-1, 1)).all():
+    def _compute_batch(self, encodings, work) -> np.ndarray:
+        xp = work.xp
+        if not xp.isin(encodings, (-1, 1)).all():
             raise DataError("pairt encodings must be +/-1 sign vectors")
-        npv = self._np_valid[:, None]
+        npv = work.constant(self._np_valid)[:, None]
         Z = self._gemm_operand(encodings, work)
         m, nb, dt = self._Dz.shape[0], encodings.shape[0], self._Dz.dtype
-        S = np.matmul(self._Dz, Z, out=work.take("S", (m, nb), dt))
-        mean = np.divide(S, npv, out=work.take("mean", (m, nb), dt))
-        np.multiply(S, mean, out=S)
-        np.subtract(self._sumsq[:, None], S, out=S)
-        var = np.divide(S, npv - 1.0, out=S)
-        np.maximum(var, 0.0, out=var)
-        np.divide(var, npv, out=var)
-        se = np.sqrt(var, out=var)
-        t = np.divide(mean, se, out=mean)
-        bad = np.equal(se, 0.0, out=work.take("bad", (m, nb), bool))
-        np.logical_or(bad, npv < 2, out=bad)
+        S = xp.matmul(work.constant(self._Dz), Z,
+                      out=work.take("S", (m, nb), dt))
+        mean = xp.divide(S, npv, out=work.take("mean", (m, nb), dt))
+        xp.multiply(S, mean, out=S)
+        xp.subtract(work.constant(self._sumsq)[:, None], S, out=S)
+        var = xp.divide(S, npv - 1.0, out=S)
+        xp.maximum(var, 0.0, out=var)
+        xp.divide(var, npv, out=var)
+        se = xp.sqrt(var, out=var)
+        t = xp.divide(mean, se, out=mean)
+        bad = xp.equal(se, 0.0, out=work.take("bad", (m, nb), bool))
+        xp.logical_or(bad, npv < 2, out=bad)
         t[bad] = np.nan
         return t

@@ -34,38 +34,39 @@ class WelchT(TestStatistic):
     def _prepare(self, X: np.ndarray, labels: np.ndarray) -> None:
         self._moments = TwoSampleMoments(X)
 
-    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
+    def _compute_batch(self, encodings, work) -> np.ndarray:
         # mean_j = S_j / N_j; var_j = (Q_j - S_j mean_j) / (N_j - 1);
         # t = (mean1 - mean0) / sqrt(var1/N1 + var0/N0), routed through
         # pooled buffers (S_j is consumed by the variance product, Q_j
         # becomes the variance in place).  N1/N0 may be (1, nb) rows on
         # fully-valid data; their derived scratch broadcasts.
+        xp = work.xp
         N1, S1, Q1, N0, S0, Q0 = self._moments.split(encodings, work)
-        shape, dt = S1.shape, S1.dtype
-        mean1 = np.divide(S1, N1, out=work.take("mean1", shape, dt))
-        mean0 = np.divide(S0, N0, out=work.take("mean0", shape, dt))
-        np.multiply(S1, mean1, out=S1)
-        np.subtract(Q1, S1, out=Q1)
-        dof1 = np.subtract(N1, 1.0, out=work.take("dof1", N1.shape, dt))
-        var1 = np.divide(Q1, dof1, out=Q1)
-        np.multiply(S0, mean0, out=S0)
-        np.subtract(Q0, S0, out=Q0)
-        dof0 = np.subtract(N0, 1.0, out=work.take("dof0", N0.shape, dt))
-        var0 = np.divide(Q0, dof0, out=Q0)
+        shape, dt = S1.shape, self.compute_dtype
+        mean1 = xp.divide(S1, N1, out=work.take("mean1", shape, dt))
+        mean0 = xp.divide(S0, N0, out=work.take("mean0", shape, dt))
+        xp.multiply(S1, mean1, out=S1)
+        xp.subtract(Q1, S1, out=Q1)
+        dof1 = xp.subtract(N1, 1.0, out=work.take("dof1", N1.shape, dt))
+        var1 = xp.divide(Q1, dof1, out=Q1)
+        xp.multiply(S0, mean0, out=S0)
+        xp.subtract(Q0, S0, out=Q0)
+        dof0 = xp.subtract(N0, 1.0, out=work.take("dof0", N0.shape, dt))
+        var0 = xp.divide(Q0, dof0, out=Q0)
         # Floating-point cancellation can leave tiny negative variances on
         # constant rows; clamp so the zero-variance guard below fires instead.
-        np.maximum(var1, 0.0, out=var1)
-        np.maximum(var0, 0.0, out=var0)
-        np.divide(var1, N1, out=var1)
-        np.divide(var0, N0, out=var0)
-        np.add(var1, var0, out=var1)
-        se = np.sqrt(var1, out=var1)
-        np.subtract(mean1, mean0, out=mean1)
-        t = np.divide(mean1, se, out=mean1)
-        b1 = np.less(N1, 2, out=work.take("bad1", N1.shape, bool))
-        b2 = np.less(N0, 2, out=work.take("bad2", N0.shape, bool))
-        np.logical_or(b1, b2, out=b1)
-        b3 = np.equal(se, 0.0, out=work.take("bad3", t.shape, bool))
-        bad = np.logical_or(b3, b1, out=b3)
+        xp.maximum(var1, 0.0, out=var1)
+        xp.maximum(var0, 0.0, out=var0)
+        xp.divide(var1, N1, out=var1)
+        xp.divide(var0, N0, out=var0)
+        xp.add(var1, var0, out=var1)
+        se = xp.sqrt(var1, out=var1)
+        xp.subtract(mean1, mean0, out=mean1)
+        t = xp.divide(mean1, se, out=mean1)
+        b1 = xp.less(N1, 2, out=work.take("bad1", N1.shape, bool))
+        b2 = xp.less(N0, 2, out=work.take("bad2", N0.shape, bool))
+        xp.logical_or(b1, b2, out=b1)
+        b3 = xp.equal(se, 0.0, out=work.take("bad3", t.shape, bool))
+        bad = xp.logical_or(b3, b1, out=b3)
         t[bad] = np.nan
         return t

@@ -51,32 +51,36 @@ class Wilcoxon(TestStatistic):
         self._R = row_ranks(X).astype(X.dtype, copy=False)
         self._n_valid = self._V.sum(axis=1, dtype=X.dtype)
 
-    def _compute_batch(self, encodings: np.ndarray, work) -> np.ndarray:
+    def _compute_batch(self, encodings, work) -> np.ndarray:
         # z = (W - N1 (nv+1)/2) / sqrt(N0 N1 (nv+1)/12) through pooled
         # buffers; N1/N0 collapse to (1, nb) rows on fully-valid data.
-        nv = self._n_valid[:, None]
+        xp = work.xp
+        nv = work.constant(self._n_valid)[:, None]
         dt = self._V.dtype
         G = self._gemm_operand(encodings, work)
         m, nb = self._V.shape[0], encodings.shape[0]
-        N1 = class_member_counts(self._count_mask, G, work, "N1")
+        mask = None if self._count_mask is None \
+            else work.constant(self._count_mask)
+        N1 = class_member_counts(mask, G, work, "N1", dt)
         # On fully-valid data every n_valid entry is exactly n, so the
         # (1, nb) subtraction yields the same values the (m, nb) one would.
         valid_total = dt.type(self.n) if self._all_valid else nv
-        N0 = np.subtract(valid_total, N1, out=work.take("N0", N1.shape, dt))
-        W = np.matmul(self._R, G, out=work.take("W", (m, nb), dt))
+        N0 = xp.subtract(valid_total, N1, out=work.take("N0", N1.shape, dt))
+        W = xp.matmul(work.constant(self._R), G,
+                      out=work.take("W", (m, nb), dt))
         nvp = nv + 1.0  # (m, 1): permutation-invariant, negligible
-        expected = np.multiply(N1, nvp, out=work.take("E", (m, nb), dt))
-        np.divide(expected, 2.0, out=expected)
-        prod = np.multiply(N0, N1, out=work.take("NN", N1.shape, dt))
-        sd = np.multiply(prod, nvp, out=work.take("SD", (m, nb), dt))
-        np.divide(sd, 12.0, out=sd)
-        np.sqrt(sd, out=sd)
-        np.subtract(W, expected, out=W)
-        z = np.divide(W, sd, out=W)
-        b1 = np.less(N1, 1, out=work.take("bad1", N1.shape, bool))
-        b2 = np.less(N0, 1, out=work.take("bad2", N0.shape, bool))
-        np.logical_or(b1, b2, out=b1)
-        b3 = np.equal(sd, 0.0, out=work.take("bad3", (m, nb), bool))
-        bad = np.logical_or(b3, b1, out=b3)
+        expected = xp.multiply(N1, nvp, out=work.take("E", (m, nb), dt))
+        xp.divide(expected, 2.0, out=expected)
+        prod = xp.multiply(N0, N1, out=work.take("NN", N1.shape, dt))
+        sd = xp.multiply(prod, nvp, out=work.take("SD", (m, nb), dt))
+        xp.divide(sd, 12.0, out=sd)
+        xp.sqrt(sd, out=sd)
+        xp.subtract(W, expected, out=W)
+        z = xp.divide(W, sd, out=W)
+        b1 = xp.less(N1, 1, out=work.take("bad1", N1.shape, bool))
+        b2 = xp.less(N0, 1, out=work.take("bad2", N0.shape, bool))
+        xp.logical_or(b1, b2, out=b1)
+        b3 = xp.equal(sd, 0.0, out=work.take("bad3", (m, nb), bool))
+        bad = xp.logical_or(b3, b1, out=b3)
         z[bad] = np.nan
         return z

@@ -243,6 +243,54 @@ class TestLifecycle:
             attach_published_view(("psm_doesnotexist", (2, 2), "<f8"))
 
 
+class TestNonparaVariants:
+    """Published rank-transform variants back the nonpara wire."""
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_nonpara_bit_identity(self, dataset, dtype):
+        X, labels = dataset
+        ref = pmaxT(X, labels, B=120, seed=3, nonpara="y", dtype=dtype)
+        registry = DatasetRegistry(use_shm=False)
+        h = registry.publish(X, labels=labels)
+        out = pmaxT(h, B=120, seed=3, nonpara="y", dtype=dtype)
+        assert np.array_equal(out.teststat, ref.teststat, equal_nan=True)
+        assert np.array_equal(out.rawp, ref.rawp, equal_nan=True)
+        assert np.array_equal(out.adjp, ref.adjp, equal_nan=True)
+        registry.close()
+
+    def test_nonpara_session_bit_identity(self, dataset):
+        X, labels = dataset
+        ref = pmaxT(X, labels, B=120, seed=3, nonpara="y")
+        with open_session("threads", 3) as ses:
+            h = ses.publish(X, labels=labels)
+            out = pmaxT(h, B=120, seed=3, nonpara="y", session=ses)
+            assert np.array_equal(out.adjp, ref.adjp, equal_nan=True)
+
+    def test_rank_variant_materialises_once(self, dataset):
+        X, labels = dataset
+        registry = DatasetRegistry(use_shm=False)
+        h = registry.publish(X, labels=labels)
+        record = h._live_record()
+        assert ("float64", None, True) not in record._variants
+        view1, _ = h.resolve(rank=True)
+        assert ("float64", None, True) in record._variants
+        view2, _ = h.resolve(rank=True)
+        assert view2 is view1
+        assert not view1.flags.writeable
+        registry.close()
+
+    def test_wilcoxon_keeps_plain_wire(self, dataset):
+        X, labels = dataset
+        ref = pmaxT(X, labels, B=120, seed=3, test="wilcoxon", nonpara="y")
+        registry = DatasetRegistry(use_shm=False)
+        h = registry.publish(X, labels=labels)
+        out = pmaxT(h, B=120, seed=3, test="wilcoxon", nonpara="y")
+        assert np.array_equal(out.adjp, ref.adjp, equal_nan=True)
+        # Wilcoxon ranks inside the statistic, so no rank variant is cut.
+        assert not any(key[2] for key in h._live_record()._variants)
+        registry.close()
+
+
 class TestStats:
     def test_session_stats_and_repr(self, dataset):
         X, labels = dataset

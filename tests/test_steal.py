@@ -221,6 +221,88 @@ class TestProtocol:
         assert stats["deaths_handled"] == 0
 
 
+def _steal_job_poll(comm):
+    """Same protocol with a throttled master split into poll_unit pieces."""
+    blocks = carve_blocks(0, 400, 50)
+    runs = plan_initial_runs(len(blocks), comm.size)
+
+    def compute(block: Block):
+        if comm.rank == 0:
+            time.sleep(0.002)
+        return block.count
+
+    def merge(acc, piece):
+        return piece if acc is None else acc + piece
+
+    if comm.rank == 0:
+        acc, ledger, stats = run_steal_master(
+            comm, blocks, runs, compute, merge, tag=0x5400002, poll_unit=16)
+        ledger.assert_exact_cover(0, 400)
+        return acc, stats
+    run_steal_worker(comm, blocks, runs[comm.rank], compute, merge,
+                     tag=0x5400002)
+    return None
+
+
+class TestPollUnit:
+    """Master-side sub-block service units between steal requests."""
+
+    class _SoloComm:
+        size = 1
+        rank = 0
+
+        def poll_any(self, tag):
+            return None
+
+    @staticmethod
+    def _merge(acc, piece):
+        return piece if acc is None else acc + piece
+
+    def test_sub_blocks_tile_each_block_exactly(self):
+        blocks = carve_blocks(0, 100, 30)  # 30, 30, 30, 10
+        runs = plan_initial_runs(len(blocks), 1)
+        pieces = []
+
+        def compute(block: Block):
+            pieces.append((block.bid, block.start, block.count))
+            return block.count
+
+        acc, ledger, _ = run_steal_master(
+            self._SoloComm(), blocks, runs, compute, self._merge,
+            tag=0x5400003, poll_unit=8)
+        ledger.assert_exact_cover(0, 100)
+        assert acc == 100
+        assert all(count <= 8 for _, _, count in pieces)
+        for block in blocks:
+            at = block.start
+            for _, start, count in [p for p in pieces if p[0] == block.bid]:
+                assert start == at
+                at += count
+            assert at == block.stop
+
+    def test_unit_covering_block_computes_whole_blocks(self):
+        blocks = carve_blocks(0, 40, 10)
+        runs = plan_initial_runs(len(blocks), 1)
+        pieces = []
+
+        def compute(block: Block):
+            pieces.append(block.count)
+            return block.count
+
+        acc, ledger, _ = run_steal_master(
+            self._SoloComm(), blocks, runs, compute, self._merge,
+            tag=0x5400004, poll_unit=10)
+        ledger.assert_exact_cover(0, 40)
+        assert acc == 40 and pieces == [10, 10, 10, 10]
+
+    def test_protocol_with_poll_unit(self):
+        results = run_spmd(_steal_job_poll, 4)
+        acc, stats = results[0]
+        assert acc == 400
+        assert stats["blocks_total"] == 8
+        assert stats["deaths_handled"] == 0
+
+
 # -- delay injection --------------------------------------------------------
 
 
@@ -398,8 +480,13 @@ class TestSingleRankRespawn:
             state_before = {r: (pid, ws) for r, pid, ws
                             in ses.run(_survivor_state)[1:]}
 
-            # Throttle every rank so the job comfortably outlives the kill.
-            monkeypatch.setenv("REPRO_STEAL_TEST_DELAY", "*:0.004")
+            # Throttle the job so it comfortably outlives the kill.  The
+            # env var only reaches rank 0 (the workers forked before it
+            # was set), and sub-block grant polling lets the fast
+            # workers drain the pool through the master's sleeps — so
+            # the kill must land well before the master's own delayed
+            # blocks run out.
+            monkeypatch.setenv("REPRO_STEAL_TEST_DELAY", "*:0.006")
             out: dict = {}
 
             def run_job():
@@ -411,7 +498,7 @@ class TestSingleRankRespawn:
 
             worker = threading.Thread(target=run_job)
             worker.start()
-            time.sleep(1.0)
+            time.sleep(0.5)
             victim = pids_before[1]  # rank 2
             os.kill(victim, signal.SIGKILL)
             worker.join()
